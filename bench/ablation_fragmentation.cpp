@@ -1,0 +1,48 @@
+// Section 2 "future work" feature: on-NIC fragmentation (Gilfeather &
+// Underwood [11]) — the host hands the card packets larger than the wire
+// MTU; firmware fragments on send and reassembles on receive, cutting both
+// the per-packet host costs and the interrupt count. Requires a
+// programmable card (the GA620-like profile).
+#include "bench/bench_util.hpp"
+
+using namespace clicsim;
+
+int main() {
+  bench::heading("Ablation — on-NIC fragmentation (paper's future work)");
+
+  std::printf("  %-34s %10s %12s %12s %12s\n", "configuration", "Mb/s",
+              "rx CPU %", "rx irqs", "host pkts");
+
+  auto run = [](bool frag, std::int64_t mtu) {
+    apps::Scenario s;
+    s.cluster.nic = hw::NicProfile::ga620();
+    s.mtu = mtu;
+    s.clic.use_nic_fragmentation = frag;
+    const auto st = apps::clic_stream(s, 256 * 1024, 32 * 1024 * 1024);
+    std::printf("  %-34s %10.1f %12.1f %12llu %12llu\n",
+                (std::string(frag ? "firmware frag" : "host segmentation") +
+                 ", MTU " + std::to_string(mtu))
+                    .c_str(),
+                st.mbps, st.rx_cpu * 100.0,
+                static_cast<unsigned long long>(st.rx_interrupts),
+                static_cast<unsigned long long>(st.rx_frames));
+    return st;
+  };
+
+  const auto off1500 = run(false, 1500);
+  const auto on1500 = run(true, 1500);
+  const auto off9000 = run(false, 9000);
+  const auto on9000 = run(true, 9000);
+
+  bench::subheading("claims ([11]: fragmentation helps most at small MTU)");
+  bench::claim("firmware fragmentation beats host segmentation at MTU 1500",
+               on1500.mbps > off1500.mbps);
+  bench::claim("it slashes host-visible packets and interrupts",
+               on1500.rx_frames < off1500.rx_frames / 4 &&
+                   on1500.rx_interrupts < off1500.rx_interrupts);
+  bench::claim("the win shrinks at MTU 9000 (jumbo already amortizes)",
+               (on9000.mbps - off9000.mbps) < (on1500.mbps - off1500.mbps));
+  bench::claim("receiver CPU drops with firmware fragmentation",
+               on1500.rx_cpu < off1500.rx_cpu);
+  return 0;
+}

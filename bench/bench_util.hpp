@@ -1,0 +1,60 @@
+// Shared helpers for the figure/table reproduction binaries: table
+// printing and PAPER vs MEASURED summaries.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/workloads.hpp"
+#include "sim/stats.hpp"
+
+namespace clicsim::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void subheading(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+// One PAPER vs MEASURED row with a pass/fail-ish qualitative check.
+inline void compare(const std::string& what, double paper, double measured,
+                    const std::string& unit, double rel_tolerance = 0.35) {
+  const double rel =
+      paper != 0.0 ? (measured - paper) / paper : 0.0;
+  std::printf("  %-46s paper %9.1f %-6s measured %9.1f %-6s (%+5.1f%%) %s\n",
+              what.c_str(), paper, unit.c_str(), measured, unit.c_str(),
+              rel * 100.0,
+              std::abs(rel) <= rel_tolerance ? "[shape OK]" : "[off]");
+}
+
+inline void claim(const std::string& what, bool holds) {
+  std::printf("  %-74s %s\n", what.c_str(),
+              holds ? "[holds]" : "[VIOLATED]");
+}
+
+inline void print_table(const std::vector<const sim::Series*>& series) {
+  sim::print_series_table(std::cout, "size(B)", series);
+}
+
+// Smallest sweep size from which the curve stays at or above `fraction` of
+// its own maximum (a monotone-envelope crossing: robust against the local
+// Nagle/delayed-ack dip in the TCP curve).
+inline double half_bandwidth_point(const sim::Series& s,
+                                   double fraction = 0.5) {
+  const double level = fraction * s.max_y();
+  const auto& pts = s.points();
+  std::size_t first_stable = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    if (pts[i].y < level) first_stable = i + 1;
+  }
+  if (first_stable >= pts.size()) return pts.empty() ? 0.0 : pts.back().x;
+  return pts[first_stable].x;
+}
+
+}  // namespace clicsim::bench

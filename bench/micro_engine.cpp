@@ -1,0 +1,114 @@
+// Engine micro-benchmarks (google-benchmark): the discrete-event core and
+// the hot protocol paths, so regressions in simulator performance are
+// visible independently of the figure harness.
+#include <benchmark/benchmark.h>
+
+#include "apps/testbed.hpp"
+#include "net/buffer.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace {
+
+using namespace clicsim;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < n; ++i) {
+      q.push((i * 7919) % 1000, [] {});
+    }
+    while (!q.empty()) {
+      auto ev = q.pop();
+      benchmark::DoNotOptimize(ev.time);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+void BM_SimulatorEventChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int remaining = n;
+    std::function<void()> hop = [&] {
+      if (--remaining > 0) sim.after(10, hop);
+    };
+    sim.after(10, hop);
+    sim.run();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimulatorEventChain)->Arg(10000);
+
+void BM_FifoResource(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::FifoResource bus(sim, "bus");
+    for (int i = 0; i < 1000; ++i) bus.submit(100);
+    sim.run();
+    benchmark::DoNotOptimize(bus.busy_time());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_FifoResource);
+
+void BM_CoroutineMailbox(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Mailbox<int> box(sim);
+    int sum = 0;
+    auto consumer = [](sim::Mailbox<int>& b, int count, int& sum) -> sim::Task {
+      for (int i = 0; i < count; ++i) sum += co_await b.pop();
+    };
+    consumer(box, n, sum);
+    for (int i = 0; i < n; ++i) {
+      sim.after(i, [&box, i] { box.push(i); });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CoroutineMailbox)->Arg(4096);
+
+void BM_ClicMessageEndToEnd(benchmark::State& state) {
+  const std::int64_t size = state.range(0);
+  for (auto _ : state) {
+    apps::ClicBed bed;
+    clic::Port a(bed.module(0), 1);
+    clic::Port b(bed.module(1), 1);
+    struct Drive {
+      static sim::Task tx(clic::Port& p, std::int64_t n) {
+        (void)co_await p.send(1, 1, net::Buffer::zeros(n));
+      }
+      static sim::Task rx(clic::Port& p) { (void)co_await p.recv(); }
+    };
+    Drive::tx(a, size);
+    Drive::rx(b);
+    bed.sim.run();
+    benchmark::DoNotOptimize(bed.sim.events_executed());
+  }
+  state.SetBytesProcessed(state.iterations() * size);
+}
+BENCHMARK(BM_ClicMessageEndToEnd)->Arg(0)->Arg(65536)->Arg(1 << 20);
+
+void BM_BufferPatternChecksum(benchmark::State& state) {
+  const std::int64_t size = state.range(0);
+  auto buf = net::Buffer::pattern(size, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buf.checksum());
+  }
+  state.SetBytesProcessed(state.iterations() * size);
+}
+BENCHMARK(BM_BufferPatternChecksum)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,147 @@
+// Distributed 1-D heat diffusion (Jacobi iteration) on MPI-over-CLIC, with
+// REAL data: the halo bytes exchanged every step are the actual double
+// values, and the distributed result is verified bit-for-bit against a
+// serial reference. This is the class of fine-grained parallel code the
+// paper's introduction says heavy protocol stacks push into
+// "coarse grain only" territory.
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "apps/testbed.hpp"
+#include "sim/task.hpp"
+
+using namespace clicsim;
+
+namespace {
+
+constexpr int kRanks = 4;
+constexpr int kCellsPerRank = 64;
+constexpr int kCells = kRanks * kCellsPerRank;
+constexpr int kSteps = 50;
+constexpr double kAlpha = 0.25;
+
+// Initial condition: a hot spike in the middle.
+std::vector<double> initial_grid() {
+  std::vector<double> u(kCells, 0.0);
+  u[kCells / 2] = 100.0;
+  return u;
+}
+
+// Serial reference: the exact arithmetic the distributed ranks perform.
+std::vector<double> serial_solution() {
+  std::vector<double> u = initial_grid();
+  std::vector<double> next(u.size());
+  for (int s = 0; s < kSteps; ++s) {
+    for (int i = 0; i < kCells; ++i) {
+      const double left = i > 0 ? u[i - 1] : 0.0;
+      const double right = i < kCells - 1 ? u[i + 1] : 0.0;
+      next[i] = u[i] + kAlpha * (left - 2.0 * u[i] + right);
+    }
+    u.swap(next);
+  }
+  return u;
+}
+
+net::Buffer pack_double(double v) {
+  std::vector<std::byte> bytes(sizeof(double));
+  std::memcpy(bytes.data(), &v, sizeof(double));
+  return net::Buffer::bytes(std::move(bytes));
+}
+
+double unpack_double(const net::Buffer& b) {
+  double v = 0.0;
+  std::memcpy(&v, b.data().data(), sizeof(double));
+  return v;
+}
+
+net::Buffer pack_cells(const std::vector<double>& cells) {
+  std::vector<std::byte> bytes(cells.size() * sizeof(double));
+  std::memcpy(bytes.data(), cells.data(), bytes.size());
+  return net::Buffer::bytes(std::move(bytes));
+}
+
+sim::Task rank_body(apps::MpiClicBed& bed, int rank,
+                    std::vector<double>* result) {
+  mpi::Communicator& comm = bed.comm(rank);
+  std::vector<double> u(kCellsPerRank);
+  {
+    const auto whole = initial_grid();
+    for (int i = 0; i < kCellsPerRank; ++i) {
+      u[static_cast<std::size_t>(i)] =
+          whole[static_cast<std::size_t>(rank * kCellsPerRank + i)];
+    }
+  }
+  std::vector<double> next(u.size());
+
+  for (int s = 0; s < kSteps; ++s) {
+    // Exchange boundary cells with both neighbours (domain edges see 0).
+    double halo_left = 0.0;
+    double halo_right = 0.0;
+    if (rank > 0) {
+      (void)co_await comm.send(rank - 1, 1000 + s, pack_double(u.front()));
+    }
+    if (rank < kRanks - 1) {
+      (void)co_await comm.send(rank + 1, 2000 + s, pack_double(u.back()));
+    }
+    if (rank < kRanks - 1) {
+      mpi::RecvResult r = co_await comm.recv(rank + 1, 1000 + s);
+      halo_right = unpack_double(r.data);
+    }
+    if (rank > 0) {
+      mpi::RecvResult r = co_await comm.recv(rank - 1, 2000 + s);
+      halo_left = unpack_double(r.data);
+    }
+
+    for (int i = 0; i < kCellsPerRank; ++i) {
+      const double left = i > 0 ? u[i - 1] : halo_left;
+      const double right = i < kCellsPerRank - 1 ? u[i + 1] : halo_right;
+      next[i] = u[i] + kAlpha * (left - 2.0 * u[i] + right);
+    }
+    u.swap(next);
+  }
+
+  // Gather the distributed result on rank 0 — as bytes, through the wire.
+  auto gathered = co_await comm.gather(0, pack_cells(u));
+  if (rank == 0) {
+    result->resize(kCells);
+    for (int r = 0; r < kRanks; ++r) {
+      std::memcpy(result->data() + r * kCellsPerRank,
+                  gathered[static_cast<std::size_t>(r)].data().data(),
+                  kCellsPerRank * sizeof(double));
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  os::ClusterConfig cc;
+  cc.nodes = kRanks;
+  apps::MpiClicBed bed(cc);
+
+  std::vector<double> distributed;
+  for (int r = 0; r < kRanks; ++r) rank_body(bed, r, &distributed);
+  bed.sim().run();
+
+  const auto reference = serial_solution();
+  int mismatches = 0;
+  for (int i = 0; i < kCells; ++i) {
+    if (distributed[static_cast<std::size_t>(i)] !=
+        reference[static_cast<std::size_t>(i)]) {
+      ++mismatches;
+    }
+  }
+
+  double total = 0.0;
+  for (double v : distributed) total += v;
+  std::printf("heat solver: %d ranks x %d cells, %d steps over MPI-CLIC\n",
+              kRanks, kCellsPerRank, kSteps);
+  std::printf("  simulated wall time: %.2f ms\n",
+              sim::to_ms(bed.sim().now()));
+  std::printf("  conserved energy:    %.6f (initial 100)\n", total);
+  std::printf("  vs serial reference: %s (%d/%d cells differ)\n",
+              mismatches == 0 ? "bit-identical" : "MISMATCH", mismatches,
+              kCells);
+  return mismatches == 0 ? 0 : 1;
+}

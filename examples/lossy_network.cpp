@@ -1,0 +1,73 @@
+// Running CLIC over a misbehaving network: 5% random loss and 2% frame
+// corruption in both directions. The reliable channel retransmits until
+// everything lands intact; the report and channel statistics show what it
+// cost — the "reliable message delivery" service the paper lists among
+// CLIC's requirements, demonstrated under fire.
+#include <iostream>
+
+#include "apps/report.hpp"
+#include "apps/testbed.hpp"
+#include "sim/task.hpp"
+
+using namespace clicsim;
+
+namespace {
+
+constexpr std::int64_t kMessage = 256 * 1024;
+constexpr int kMessages = 16;
+
+sim::Task sender(clic::ClicModule& m, bool* done) {
+  for (int i = 0; i < kMessages; ++i) {
+    (void)co_await m.send(1, 1, 1, net::Buffer::pattern(kMessage, i),
+                          clic::SendMode::kConfirmed);
+  }
+  *done = true;
+}
+
+sim::Task receiver(clic::ClicModule& m, int* intact) {
+  for (int i = 0; i < kMessages; ++i) {
+    clic::Message got = co_await m.recv(1);
+    if (got.data.content_equals(net::Buffer::pattern(kMessage, i))) {
+      ++*intact;
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  apps::ClicBed bed;
+  bed.cluster.set_mtu_all(1500);
+  for (int link = 0; link < 2; ++link) {
+    for (int dir = 0; dir < 2; ++dir) {
+      auto& f = bed.cluster.link(link).faults(dir);
+      f.set_seed(2026 + link * 2 + dir);
+      f.set_drop_probability(0.05);
+      f.set_corrupt_probability(0.02);
+    }
+  }
+  bed.module(0).bind_port(1);
+  bed.module(1).bind_port(1);
+
+  bool sent = false;
+  int intact = 0;
+  sender(bed.module(0), &sent);
+  receiver(bed.module(1), &intact);
+  bed.sim.run();
+
+  std::cout << "transferred " << kMessages << " x " << kMessage
+            << " B over a 5%-loss / 2%-corruption network\n"
+            << "confirmed sends completed: " << (sent ? "yes" : "NO")
+            << ", intact messages: " << intact << '/' << kMessages << "\n\n";
+
+  std::cout << "--- what reliability cost ---\n";
+  apps::report_clic(std::cout, bed.module(0));
+  apps::report_clic(std::cout, bed.module(1));
+  std::cout << '\n';
+  apps::report_cluster(std::cout, bed.cluster);
+
+  const auto& nic1 = bed.cluster.node(1).nic(0);
+  std::cout << "\nreceiver NIC dropped " << nic1.rx_bad_fcs()
+            << " corrupted frames; the channel retransmitted around them.\n";
+  return intact == kMessages && sent ? 0 : 1;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full reproduction: build, run the entire test suite, then regenerate every
+# figure/table. Outputs land in test_output.txt and bench_output.txt at the
+# repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    echo "===== $(basename "$b") =====" | tee -a bench_output.txt
+    "$b" 2>&1 | tee -a bench_output.txt
+  fi
+done
+
+echo
+echo "Done. See test_output.txt and bench_output.txt."

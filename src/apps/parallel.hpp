@@ -1,0 +1,33 @@
+// Parallel parameter sweeps.
+//
+// A simulation is single-threaded and deterministic, but sweep points are
+// independent — each builds its own Simulator and cluster — so they can run
+// on a pool of worker threads. This is the only concurrency in the library;
+// everything inside one simulation stays sequential by design.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace clicsim::apps {
+
+// Applies `fn` to every input, possibly concurrently; results are indexed
+// like the inputs. `threads` <= 0 picks the hardware concurrency.
+std::vector<sim::SimTime> parallel_map(
+    const std::vector<std::int64_t>& inputs,
+    const std::function<sim::SimTime(std::int64_t)>& fn, int threads = 0);
+
+// bandwidth_series (see workloads.hpp), with the points evaluated on a
+// thread pool. `fn` must be callable concurrently from several threads —
+// true for every workload driver here, since each call owns its world.
+[[nodiscard]] sim::Series bandwidth_series_parallel(
+    const std::string& name, const std::vector<std::int64_t>& sizes,
+    const std::function<sim::SimTime(std::int64_t)>& one_way,
+    int threads = 0);
+
+}  // namespace clicsim::apps

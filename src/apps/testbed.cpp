@@ -1,0 +1,94 @@
+#include "apps/testbed.hpp"
+
+#include <utility>
+
+namespace clicsim::apps {
+
+ClicBed::ClicBed(os::ClusterConfig cluster_config, clic::Config clic_config)
+    : cluster(sim, std::move(cluster_config)),
+      addresses(os::AddressMap::for_cluster(cluster)) {
+  for (int i = 0; i < cluster.size(); ++i) {
+    modules.push_back(std::make_unique<clic::ClicModule>(
+        cluster.node(i), clic_config, addresses));
+  }
+}
+
+TcpBed::TcpBed(os::ClusterConfig cluster_config, tcpip::Config tcp_config)
+    : cluster(sim, std::move(cluster_config)),
+      addresses(os::AddressMap::for_cluster(cluster)) {
+  for (int i = 0; i < cluster.size(); ++i) {
+    ip.push_back(std::make_unique<tcpip::IpLayer>(cluster.node(i),
+                                                  tcp_config, addresses));
+    tcp.push_back(std::make_unique<tcpip::TcpStack>(*ip.back(), tcp_config));
+    udp.push_back(std::make_unique<tcpip::UdpStack>(*ip.back(), tcp_config));
+  }
+}
+
+MpiClicBed::MpiClicBed(os::ClusterConfig cluster_config,
+                       clic::Config clic_config, mpi::Config mpi_config)
+    : bed(std::move(cluster_config), clic_config) {
+  const int n = bed.cluster.size();
+  for (int i = 0; i < n; ++i) {
+    transports.push_back(
+        std::make_unique<mpi::ClicTransport>(bed.module(i), i, n));
+    comms.push_back(
+        std::make_unique<mpi::Communicator>(*transports.back(), mpi_config));
+  }
+}
+
+MpiTcpBed::MpiTcpBed(os::ClusterConfig cluster_config,
+                     tcpip::Config tcp_config, mpi::Config mpi_config)
+    : bed(std::move(cluster_config), tcp_config) {
+  const int n = bed.cluster.size();
+  for (int i = 0; i < n; ++i) {
+    transports.push_back(
+        std::make_unique<mpi::TcpTransport>(*bed.tcp[i], i, n));
+    comms.push_back(
+        std::make_unique<mpi::Communicator>(*transports.back(), mpi_config));
+  }
+}
+
+sim::Future<bool> MpiTcpBed::connect() {
+  return mpi::connect_tcp_mesh(transports);
+}
+
+PvmBed::PvmBed(os::ClusterConfig cluster_config, tcpip::Config tcp_config,
+               pvm::Config config)
+    : bed(std::move(cluster_config), tcp_config), pvm_config(config) {
+  const int n = bed.cluster.size();
+  for (int i = 0; i < n; ++i) {
+    transports.push_back(
+        std::make_unique<mpi::TcpTransport>(*bed.tcp[i], i, n, 7600));
+  }
+}
+
+sim::Future<bool> PvmBed::connect() {
+  if (!tasks_built_) {
+    tasks_built_ = true;
+    for (auto& t : transports) {
+      tasks.push_back(std::make_unique<pvm::PvmTask>(*t, pvm_config));
+    }
+  }
+  return mpi::connect_tcp_mesh(transports);
+}
+
+GammaBed::GammaBed(os::ClusterConfig cluster_config,
+                   gamma::Config gamma_config)
+    : cluster(sim, std::move(cluster_config)),
+      addresses(os::AddressMap::for_cluster(cluster)) {
+  for (int i = 0; i < cluster.size(); ++i) {
+    modules.push_back(std::make_unique<gamma::GammaModule>(
+        cluster.node(i), gamma_config, addresses));
+  }
+}
+
+ViaBed::ViaBed(os::ClusterConfig cluster_config, via::Config via_config)
+    : cluster(sim, std::move(cluster_config)),
+      addresses(os::AddressMap::for_cluster(cluster)) {
+  for (int i = 0; i < cluster.size(); ++i) {
+    providers.push_back(std::make_unique<via::ViaProvider>(
+        cluster.node(i), via_config, addresses));
+  }
+}
+
+}  // namespace clicsim::apps

@@ -1,0 +1,135 @@
+// Pre-wired test beds: a cluster plus one protocol stack per node, ready
+// for workloads. Shared by the unit/integration tests, the benchmark
+// harness and the examples.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "clic/api.hpp"
+#include "gamma/gamma.hpp"
+#include "mpi/comm.hpp"
+#include "os/address.hpp"
+#include "os/cluster.hpp"
+#include "pvm/pvm.hpp"
+#include "tcpip/tcp.hpp"
+#include "tcpip/udp.hpp"
+#include "via/via.hpp"
+
+namespace clicsim::apps {
+
+// N nodes running CLIC.
+struct ClicBed {
+  sim::Simulator sim;
+  os::Cluster cluster;
+  os::AddressMap addresses;
+  std::vector<std::unique_ptr<clic::ClicModule>> modules;
+
+  explicit ClicBed(os::ClusterConfig cluster_config = {},
+                   clic::Config clic_config = {});
+
+  [[nodiscard]] clic::ClicModule& module(int node) {
+    return *modules.at(static_cast<std::size_t>(node));
+  }
+};
+
+// N nodes running the TCP/IP stack.
+struct TcpBed {
+  sim::Simulator sim;
+  os::Cluster cluster;
+  os::AddressMap addresses;
+  std::vector<std::unique_ptr<tcpip::IpLayer>> ip;
+  std::vector<std::unique_ptr<tcpip::TcpStack>> tcp;
+  std::vector<std::unique_ptr<tcpip::UdpStack>> udp;
+
+  explicit TcpBed(os::ClusterConfig cluster_config = {},
+                  tcpip::Config tcp_config = {});
+};
+
+// N ranks of mini-MPI over CLIC (rank i == node i).
+struct MpiClicBed {
+  ClicBed bed;
+  std::vector<std::unique_ptr<mpi::ClicTransport>> transports;
+  std::vector<std::unique_ptr<mpi::Communicator>> comms;
+
+  explicit MpiClicBed(os::ClusterConfig cluster_config = {},
+                      clic::Config clic_config = {},
+                      mpi::Config mpi_config = {});
+
+  [[nodiscard]] mpi::Communicator& comm(int rank) {
+    return *comms.at(static_cast<std::size_t>(rank));
+  }
+  [[nodiscard]] sim::Simulator& sim() { return bed.sim; }
+};
+
+// N ranks of mini-MPI over TCP. Call connect() (and run the sim) before
+// using the communicators.
+struct MpiTcpBed {
+  TcpBed bed;
+  std::vector<std::unique_ptr<mpi::TcpTransport>> transports;
+  std::vector<std::unique_ptr<mpi::Communicator>> comms;
+
+  explicit MpiTcpBed(os::ClusterConfig cluster_config = {},
+                     tcpip::Config tcp_config = {},
+                     mpi::Config mpi_config = {});
+
+  // Establishes the socket mesh; returns the future to await.
+  [[nodiscard]] sim::Future<bool> connect();
+
+  [[nodiscard]] mpi::Communicator& comm(int rank) {
+    return *comms.at(static_cast<std::size_t>(rank));
+  }
+  [[nodiscard]] sim::Simulator& sim() { return bed.sim; }
+};
+
+// N PVM tasks over TCP (tid i == node i).
+struct PvmBed {
+  TcpBed bed;
+  std::vector<std::unique_ptr<mpi::TcpTransport>> transports;
+  std::vector<std::unique_ptr<pvm::PvmTask>> tasks;
+  pvm::Config pvm_config;
+
+  explicit PvmBed(os::ClusterConfig cluster_config = {},
+                  tcpip::Config tcp_config = {}, pvm::Config config = {});
+
+  [[nodiscard]] sim::Future<bool> connect();
+  [[nodiscard]] pvm::PvmTask& task(int tid) {
+    return *tasks.at(static_cast<std::size_t>(tid));
+  }
+  [[nodiscard]] sim::Simulator& sim() { return bed.sim; }
+
+ private:
+  bool tasks_built_ = false;
+};
+
+// N nodes running GAMMA.
+struct GammaBed {
+  sim::Simulator sim;
+  os::Cluster cluster;
+  os::AddressMap addresses;
+  std::vector<std::unique_ptr<gamma::GammaModule>> modules;
+
+  explicit GammaBed(os::ClusterConfig cluster_config = {},
+                    gamma::Config gamma_config = {});
+
+  [[nodiscard]] gamma::GammaModule& module(int node) {
+    return *modules.at(static_cast<std::size_t>(node));
+  }
+};
+
+// N nodes running VIA (one VI per ordered node pair is up to the caller).
+struct ViaBed {
+  sim::Simulator sim;
+  os::Cluster cluster;
+  os::AddressMap addresses;
+  std::vector<std::unique_ptr<via::ViaProvider>> providers;
+
+  explicit ViaBed(os::ClusterConfig cluster_config = {},
+                  via::Config via_config = {});
+
+  [[nodiscard]] via::ViaProvider& provider(int node) {
+    return *providers.at(static_cast<std::size_t>(node));
+  }
+};
+
+}  // namespace clicsim::apps

@@ -1,0 +1,398 @@
+#include "apps/workloads.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace clicsim::apps {
+
+double to_mbps(std::int64_t size, sim::SimTime one_way) {
+  if (one_way <= 0) return 0.0;
+  return static_cast<double>(size) * 8e3 / static_cast<double>(one_way);
+}
+
+namespace {
+
+// Shared ping-pong skeleton: `leg(dst)` sends one message to the peer,
+// `take()` blocks for one inbound message. The initiator measures reps
+// round trips after one warm-up.
+struct PingPongClock {
+  sim::SimTime t0 = 0;
+  sim::SimTime t1 = 0;
+  int reps = 5;
+
+  [[nodiscard]] sim::SimTime one_way() const {
+    return (t1 - t0) / (2 * reps);
+  }
+};
+
+}  // namespace
+
+// --- CLIC -----------------------------------------------------------------------
+
+namespace {
+sim::Task clic_pp_initiator(sim::Simulator& sim, clic::Port& port,
+                            std::int64_t size, PingPongClock& clock) {
+  (void)co_await port.send(1, 1, net::Buffer::zeros(size));
+  (void)co_await port.recv();
+  clock.t0 = sim.now();
+  for (int i = 0; i < clock.reps; ++i) {
+    (void)co_await port.send(1, 1, net::Buffer::zeros(size));
+    (void)co_await port.recv();
+  }
+  clock.t1 = sim.now();
+}
+
+sim::Task clic_pp_responder(clic::Port& port, std::int64_t size, int reps) {
+  for (int i = 0; i < reps + 1; ++i) {
+    (void)co_await port.recv();
+    (void)co_await port.send(0, 1, net::Buffer::zeros(size));
+  }
+}
+}  // namespace
+
+sim::SimTime clic_one_way(const Scenario& s, std::int64_t size) {
+  ClicBed bed(s.cluster, s.clic);
+  bed.cluster.set_mtu_all(s.mtu);
+  clic::Port a(bed.module(0), 1);
+  clic::Port b(bed.module(1), 1);
+  PingPongClock clock;
+  clock.reps = s.pingpong_reps;
+  clic_pp_initiator(bed.sim, a, size, clock);
+  clic_pp_responder(b, size, clock.reps);
+  bed.sim.run();
+  return clock.one_way();
+}
+
+// --- TCP ------------------------------------------------------------------------
+
+namespace {
+sim::Task tcp_pp_initiator(sim::Simulator& sim, tcpip::TcpStack& stack,
+                           std::int64_t size, PingPongClock& clock) {
+  auto& sock = stack.create_socket();
+  (void)co_await sock.connect(1, 5000);
+  (void)co_await sock.send(net::Buffer::zeros(size));
+  (void)co_await sock.recv_exact(size);
+  clock.t0 = sim.now();
+  for (int i = 0; i < clock.reps; ++i) {
+    (void)co_await sock.send(net::Buffer::zeros(size));
+    (void)co_await sock.recv_exact(size);
+  }
+  clock.t1 = sim.now();
+}
+
+sim::Task tcp_pp_responder(tcpip::TcpStack& stack, std::int64_t size,
+                           int reps) {
+  tcpip::TcpSocket* sock = co_await stack.accept(5000);
+  for (int i = 0; i < reps + 1; ++i) {
+    (void)co_await sock->recv_exact(size);
+    (void)co_await sock->send(net::Buffer::zeros(size));
+  }
+}
+}  // namespace
+
+sim::SimTime tcp_one_way(const Scenario& s, std::int64_t size) {
+  TcpBed bed(s.cluster, s.tcp);
+  bed.cluster.set_mtu_all(s.mtu);
+  bed.tcp[1]->listen(5000);
+  PingPongClock clock;
+  clock.reps = s.pingpong_reps;
+  tcp_pp_initiator(bed.sim, *bed.tcp[0], std::max<std::int64_t>(size, 1),
+                   clock);
+  tcp_pp_responder(*bed.tcp[1], std::max<std::int64_t>(size, 1), clock.reps);
+  bed.sim.run();
+  return clock.one_way();
+}
+
+// --- MPI ------------------------------------------------------------------------
+
+namespace {
+sim::Task mpi_pp_initiator(sim::Simulator& sim, mpi::Communicator& comm,
+                           std::int64_t size, PingPongClock& clock) {
+  (void)co_await comm.send(1, 7, net::Buffer::zeros(size));
+  (void)co_await comm.recv(1, 7);
+  clock.t0 = sim.now();
+  for (int i = 0; i < clock.reps; ++i) {
+    (void)co_await comm.send(1, 7, net::Buffer::zeros(size));
+    (void)co_await comm.recv(1, 7);
+  }
+  clock.t1 = sim.now();
+}
+
+sim::Task mpi_pp_responder(mpi::Communicator& comm, std::int64_t size,
+                           int reps) {
+  for (int i = 0; i < reps + 1; ++i) {
+    (void)co_await comm.recv(0, 7);
+    (void)co_await comm.send(0, 7, net::Buffer::zeros(size));
+  }
+}
+
+sim::Task mpi_tcp_pp_all(MpiTcpBed& bed, std::int64_t size,
+                         PingPongClock& clock) {
+  const bool ok = co_await bed.connect();
+  if (!ok) co_return;
+  mpi_pp_initiator(bed.sim(), bed.comm(0), size, clock);
+  mpi_pp_responder(bed.comm(1), size, clock.reps);
+}
+}  // namespace
+
+sim::SimTime mpi_clic_one_way(const Scenario& s, std::int64_t size) {
+  MpiClicBed bed(s.cluster, s.clic, s.mpi);
+  bed.bed.cluster.set_mtu_all(s.mtu);
+  PingPongClock clock;
+  clock.reps = s.pingpong_reps;
+  mpi_pp_initiator(bed.sim(), bed.comm(0), size, clock);
+  mpi_pp_responder(bed.comm(1), size, clock.reps);
+  bed.sim().run();
+  return clock.one_way();
+}
+
+sim::SimTime mpi_tcp_one_way(const Scenario& s, std::int64_t size) {
+  MpiTcpBed bed(s.cluster, s.tcp, s.mpi);
+  bed.bed.cluster.set_mtu_all(s.mtu);
+  PingPongClock clock;
+  clock.reps = s.pingpong_reps;
+  mpi_tcp_pp_all(bed, size, clock);
+  bed.sim().run();
+  return clock.one_way();
+}
+
+// --- PVM ------------------------------------------------------------------------
+
+namespace {
+sim::Task pvm_pp_initiator(sim::Simulator& sim, pvm::PvmTask& task,
+                           std::int64_t size, PingPongClock& clock) {
+  for (int i = 0; i < clock.reps + 1; ++i) {
+    task.initsend();
+    (void)co_await task.pack(net::Buffer::zeros(size));
+    (void)co_await task.send(1, 7);
+    pvm::PvmMessage m = co_await task.recv(1, 7);
+    (void)co_await task.unpack(m, size);
+    if (i == 0) clock.t0 = sim.now();
+  }
+  clock.t1 = sim.now();
+}
+
+sim::Task pvm_pp_responder(pvm::PvmTask& task, std::int64_t size, int reps) {
+  for (int i = 0; i < reps + 1; ++i) {
+    pvm::PvmMessage m = co_await task.recv(0, 7);
+    (void)co_await task.unpack(m, size);
+    task.initsend();
+    (void)co_await task.pack(net::Buffer::zeros(size));
+    (void)co_await task.send(0, 7);
+  }
+}
+
+sim::Task pvm_pp_all(PvmBed& bed, std::int64_t size, PingPongClock& clock) {
+  const bool ok = co_await bed.connect();
+  if (!ok) co_return;
+  pvm_pp_initiator(bed.sim(), bed.task(0), size, clock);
+  pvm_pp_responder(bed.task(1), size, clock.reps);
+}
+}  // namespace
+
+sim::SimTime pvm_one_way(const Scenario& s, std::int64_t size) {
+  PvmBed bed(s.cluster, s.tcp, s.pvm);
+  bed.bed.cluster.set_mtu_all(s.mtu);
+  PingPongClock clock;
+  clock.reps = s.pingpong_reps;
+  pvm_pp_all(bed, size, clock);
+  bed.sim().run();
+  return clock.one_way();
+}
+
+// --- GAMMA ----------------------------------------------------------------------
+
+namespace {
+sim::Task gamma_pp_initiator(sim::Simulator& sim, gamma::GammaModule& mod,
+                             std::int64_t size, PingPongClock& clock) {
+  (void)co_await mod.send(1, 1, net::Buffer::zeros(size));
+  (void)co_await mod.recv(1);
+  clock.t0 = sim.now();
+  for (int i = 0; i < clock.reps; ++i) {
+    (void)co_await mod.send(1, 1, net::Buffer::zeros(size));
+    (void)co_await mod.recv(1);
+  }
+  clock.t1 = sim.now();
+}
+
+sim::Task gamma_pp_responder(gamma::GammaModule& mod, std::int64_t size,
+                             int reps) {
+  for (int i = 0; i < reps + 1; ++i) {
+    (void)co_await mod.recv(1);
+    (void)co_await mod.send(0, 1, net::Buffer::zeros(size));
+  }
+}
+}  // namespace
+
+sim::SimTime gamma_one_way(const Scenario& s, std::int64_t size) {
+  GammaBed bed(s.cluster, s.gamma);
+  bed.cluster.set_mtu_all(std::min(s.mtu, s.cluster.nic.max_mtu));
+  bed.module(0).open_mailbox_port(1);
+  bed.module(1).open_mailbox_port(1);
+  PingPongClock clock;
+  clock.reps = s.pingpong_reps;
+  gamma_pp_initiator(bed.sim, bed.module(0), size, clock);
+  gamma_pp_responder(bed.module(1), size, clock.reps);
+  bed.sim.run();
+  return clock.one_way();
+}
+
+// --- VIA ------------------------------------------------------------------------
+
+namespace {
+sim::Task via_pp_initiator(sim::Simulator& sim, via::Vi& vi,
+                           std::int64_t size, PingPongClock& clock) {
+  for (int i = 0; i < clock.reps + 1; ++i) {
+    vi.post_recv(size + 64);
+    vi.post_send(net::Buffer::zeros(size));
+    // Reap the send completion, then poll for the pong.
+    (void)co_await vi.poll_wait();
+    (void)co_await vi.poll_wait();
+    if (i == 0) clock.t0 = sim.now();
+  }
+  clock.t1 = sim.now();
+}
+
+sim::Task via_pp_responder(via::Vi& vi, std::int64_t size, int reps) {
+  for (int i = 0; i < reps + 1; ++i) {
+    vi.post_recv(size + 64);
+    via::Completion c = co_await vi.poll_wait();
+    while (c.is_send) c = co_await vi.poll_wait();
+    vi.post_send(net::Buffer::zeros(size));
+    (void)co_await vi.poll_wait();  // reap send completion
+  }
+}
+}  // namespace
+
+sim::SimTime via_one_way(const Scenario& s, std::int64_t size) {
+  ViaBed bed(s.cluster, s.via);
+  bed.cluster.set_mtu_all(s.mtu);
+  via::Vi& a = bed.provider(0).create_vi();
+  via::Vi& b = bed.provider(1).create_vi();
+  a.connect(1, b.id());
+  b.connect(0, a.id());
+  PingPongClock clock;
+  clock.reps = s.pingpong_reps;
+  via_pp_initiator(bed.sim, a, size, clock);
+  via_pp_responder(b, size, clock.reps);
+  bed.sim.run();
+  return clock.one_way();
+}
+
+// --- Streams ---------------------------------------------------------------------
+
+namespace {
+sim::Task clic_stream_tx(clic::Port& port, std::int64_t message,
+                         std::int64_t count) {
+  for (std::int64_t i = 0; i < count; ++i) {
+    (void)co_await port.send(1, 1, net::Buffer::zeros(message));
+  }
+}
+
+sim::Task clic_stream_rx(sim::Simulator& sim, clic::Port& port,
+                         std::int64_t count, sim::SimTime& t_end) {
+  for (std::int64_t i = 0; i < count; ++i) {
+    (void)co_await port.recv();
+  }
+  t_end = sim.now();
+}
+}  // namespace
+
+StreamStats clic_stream(const Scenario& s, std::int64_t message_size,
+                        std::int64_t total_bytes) {
+  ClicBed bed(s.cluster, s.clic);
+  bed.cluster.set_mtu_all(s.mtu);
+  clic::Port a(bed.module(0), 1);
+  clic::Port b(bed.module(1), 1);
+  const std::int64_t count =
+      std::max<std::int64_t>(total_bytes / message_size, 1);
+  sim::SimTime t_end = 0;
+  clic_stream_tx(a, message_size, count);
+  clic_stream_rx(bed.sim, b, count, t_end);
+  bed.sim.run();
+
+  StreamStats st;
+  st.bytes = message_size * count;
+  st.elapsed = t_end;
+  st.mbps = static_cast<double>(st.bytes) * 8e3 /
+            static_cast<double>(std::max<sim::SimTime>(t_end, 1));
+  st.tx_cpu = bed.cluster.node(0).cpu().utilization();
+  st.rx_cpu = bed.cluster.node(1).cpu().utilization();
+  st.rx_interrupts = bed.cluster.node(1).nic(0).interrupts_fired();
+  st.rx_frames = bed.cluster.node(1).nic(0).rx_frames();
+  st.rx_ring_drops = bed.cluster.node(1).nic(0).rx_ring_drops();
+  return st;
+}
+
+namespace {
+sim::Task tcp_stream_tx(tcpip::TcpStack& stack, std::int64_t total) {
+  auto& sock = stack.create_socket();
+  (void)co_await sock.connect(1, 5000);
+  (void)co_await sock.send(net::Buffer::zeros(total));
+  sock.close();
+}
+
+sim::Task tcp_stream_rx(sim::Simulator& sim, tcpip::TcpStack& stack,
+                        std::int64_t total, sim::SimTime& t_end) {
+  tcpip::TcpSocket* sock = co_await stack.accept(5000);
+  (void)co_await sock->recv_exact(total);
+  t_end = sim.now();
+}
+}  // namespace
+
+StreamStats tcp_stream(const Scenario& s, std::int64_t total_bytes) {
+  TcpBed bed(s.cluster, s.tcp);
+  bed.cluster.set_mtu_all(s.mtu);
+  bed.tcp[1]->listen(5000);
+  sim::SimTime t_end = 0;
+  tcp_stream_tx(*bed.tcp[0], total_bytes);
+  tcp_stream_rx(bed.sim, *bed.tcp[1], total_bytes, t_end);
+  bed.sim.run();
+
+  StreamStats st;
+  st.bytes = total_bytes;
+  st.elapsed = t_end;
+  st.mbps = static_cast<double>(total_bytes) * 8e3 /
+            static_cast<double>(std::max<sim::SimTime>(t_end, 1));
+  st.tx_cpu = bed.cluster.node(0).cpu().utilization();
+  st.rx_cpu = bed.cluster.node(1).cpu().utilization();
+  st.rx_interrupts = bed.cluster.node(1).nic(0).interrupts_fired();
+  st.rx_frames = bed.cluster.node(1).nic(0).rx_frames();
+  st.rx_ring_drops = bed.cluster.node(1).nic(0).rx_ring_drops();
+  return st;
+}
+
+// --- Sweep helpers ---------------------------------------------------------------
+
+std::vector<std::int64_t> sweep_sizes(std::int64_t lo, std::int64_t hi,
+                                      int per_decade) {
+  if (lo < 1 || hi < lo || per_decade < 1) {
+    throw std::invalid_argument("sweep_sizes: bad range");
+  }
+  std::vector<std::int64_t> sizes;
+  const double step = std::pow(10.0, 1.0 / per_decade);
+  double x = static_cast<double>(lo);
+  std::int64_t last = 0;
+  while (x <= static_cast<double>(hi) * 1.0001) {
+    const auto v = static_cast<std::int64_t>(std::llround(x));
+    if (v != last) sizes.push_back(v);
+    last = v;
+    x *= step;
+  }
+  if (sizes.empty() || sizes.back() < hi) sizes.push_back(hi);
+  return sizes;
+}
+
+sim::Series bandwidth_series(
+    const std::string& name, const std::vector<std::int64_t>& sizes,
+    const std::function<sim::SimTime(std::int64_t)>& one_way) {
+  sim::Series series(name);
+  for (const auto size : sizes) {
+    series.add(static_cast<double>(size), to_mbps(size, one_way(size)));
+  }
+  return series;
+}
+
+}  // namespace clicsim::apps

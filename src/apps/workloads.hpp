@@ -1,0 +1,76 @@
+// Measurement workloads reproducing the paper's benchmarks.
+//
+// The figure curves are single-message-outstanding ("NetPIPE-style")
+// bandwidths: a warmed-up ping-pong of `size`-byte messages; bandwidth is
+// size / (round-trip / 2). Streaming drivers (windowed, many messages in
+// flight) feed the CPU-utilization and interrupt-rate studies.
+//
+// Every driver builds a fresh simulated cluster from a Scenario so sweep
+// points are independent and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "apps/testbed.hpp"
+#include "sim/stats.hpp"
+
+namespace clicsim::apps {
+
+struct Scenario {
+  os::ClusterConfig cluster;  // includes the NIC profile
+  std::int64_t mtu = 9000;
+  clic::Config clic;
+  tcpip::Config tcp;
+  mpi::Config mpi;
+  pvm::Config pvm;
+  gamma::Config gamma;
+  via::Config via;
+  int pingpong_reps = 5;
+};
+
+[[nodiscard]] double to_mbps(std::int64_t size, sim::SimTime one_way);
+
+// --- One-way times (ping-pong, warmed up) -----------------------------------
+[[nodiscard]] sim::SimTime clic_one_way(const Scenario& s, std::int64_t size);
+[[nodiscard]] sim::SimTime tcp_one_way(const Scenario& s, std::int64_t size);
+[[nodiscard]] sim::SimTime mpi_clic_one_way(const Scenario& s,
+                                            std::int64_t size);
+[[nodiscard]] sim::SimTime mpi_tcp_one_way(const Scenario& s,
+                                           std::int64_t size);
+[[nodiscard]] sim::SimTime pvm_one_way(const Scenario& s, std::int64_t size);
+[[nodiscard]] sim::SimTime gamma_one_way(const Scenario& s,
+                                         std::int64_t size);
+[[nodiscard]] sim::SimTime via_one_way(const Scenario& s, std::int64_t size);
+
+// --- Streaming (windowed) ------------------------------------------------------
+struct StreamStats {
+  std::int64_t bytes = 0;
+  sim::SimTime elapsed = 0;
+  double mbps = 0.0;
+  double tx_cpu = 0.0;  // sender CPU utilization
+  double rx_cpu = 0.0;  // receiver CPU utilization
+  std::uint64_t rx_interrupts = 0;
+  std::uint64_t rx_frames = 0;
+  std::uint64_t rx_ring_drops = 0;
+};
+
+[[nodiscard]] StreamStats clic_stream(const Scenario& s,
+                                      std::int64_t message_size,
+                                      std::int64_t total_bytes);
+[[nodiscard]] StreamStats tcp_stream(const Scenario& s,
+                                     std::int64_t total_bytes);
+
+// --- Sweep helpers ---------------------------------------------------------------
+// Log-spaced sizes from `lo` to `hi` (inclusive-ish), `per_decade` points.
+[[nodiscard]] std::vector<std::int64_t> sweep_sizes(
+    std::int64_t lo = 16, std::int64_t hi = 4 * 1024 * 1024,
+    int per_decade = 4);
+
+// Builds a bandwidth-vs-size series from a one-way-time function.
+[[nodiscard]] sim::Series bandwidth_series(
+    const std::string& name, const std::vector<std::int64_t>& sizes,
+    const std::function<sim::SimTime(std::int64_t)>& one_way);
+
+}  // namespace clicsim::apps

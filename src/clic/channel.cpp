@@ -1,0 +1,152 @@
+#include "clic/channel.hpp"
+
+#include <utility>
+
+namespace clicsim::clic {
+
+Channel::Channel(const Config& config, ChannelOps& ops, int peer)
+    : config_(&config), ops_(&ops), peer_(peer) {}
+
+void Channel::send(Packet packet, std::function<void()> on_acked) {
+  packet.header.seq = next_seq_++;
+  Unacked entry{std::move(packet), std::move(on_acked)};
+  if (pending_.empty() && in_flight() < config_->window_packets) {
+    transmit(entry.packet);
+    unacked_.emplace(entry.packet.header.seq, std::move(entry));
+    arm_rto();
+  } else {
+    pending_.push_back(std::move(entry));
+  }
+}
+
+void Channel::transmit(Packet& packet) {
+  packet.header.ack = take_piggyback_ack();
+  ops_->emit_data(peer_, packet);
+}
+
+std::uint32_t Channel::take_piggyback_ack() {
+  acks_owed_ = 0;
+  ++ack_timer_generation_;  // cancel any pending delayed pure ack
+  ack_timer_armed_ = false;
+  return rx_next_;
+}
+
+void Channel::drain_pending() {
+  while (!pending_.empty() && in_flight() < config_->window_packets) {
+    Unacked entry = std::move(pending_.front());
+    pending_.pop_front();
+    transmit(entry.packet);
+    const std::uint32_t seq = entry.packet.header.seq;
+    unacked_.emplace(seq, std::move(entry));
+  }
+  if (!unacked_.empty()) arm_rto();
+}
+
+void Channel::process_ack(std::uint32_t ack) {
+  bool advanced = false;
+  while (!unacked_.empty() && unacked_.begin()->first < ack) {
+    auto node = unacked_.extract(unacked_.begin());
+    if (node.mapped().on_acked) node.mapped().on_acked();
+    advanced = true;
+  }
+  if (!advanced) return;
+  tx_base_ = ack;
+  // Fresh progress: restart the retransmission clock.
+  ++rto_generation_;
+  rto_armed_ = false;
+  if (!unacked_.empty()) arm_rto();
+  drain_pending();
+}
+
+void Channel::arm_rto() {
+  if (rto_armed_) return;
+  rto_armed_ = true;
+  const std::uint64_t generation = ++rto_generation_;
+  ops_->kernel().add_timer(config_->rto,
+                           [this, generation] { rto_expired(generation); });
+}
+
+void Channel::rto_expired(std::uint64_t generation) {
+  if (generation != rto_generation_) return;
+  rto_armed_ = false;
+  if (unacked_.empty()) return;
+  // Selective repeat of the oldest outstanding packet; the reorder buffer
+  // on the far side keeps later arrivals.
+  ++retransmits_;
+  Packet& oldest = unacked_.begin()->second.packet;
+  // Retransmission must not re-trigger the caller's descriptor callback.
+  oldest.on_descriptor_done = {};
+  transmit(oldest);
+  arm_rto();
+}
+
+void Channel::packet_in(const ClicHeader& header, net::HeaderBlob upper,
+                        net::Buffer payload) {
+  process_ack(header.ack);
+  if (header.flags & flags::kPureAck) return;
+
+  const bool wants_immediate_ack = (header.flags & flags::kAckRequested) != 0;
+
+  if (header.seq < rx_next_) {
+    // Duplicate (our ack was lost): re-ack right away so the sender stops.
+    ++duplicates_;
+    note_ack_owed(/*immediate=*/true);
+    return;
+  }
+
+  if (header.seq > rx_next_) {
+    ++out_of_order_;
+    Packet p;
+    p.header = header;
+    p.upper = std::move(upper);
+    p.payload = std::move(payload);
+    reorder_.emplace(header.seq, std::move(p));
+    note_ack_owed(wants_immediate_ack);
+    return;
+  }
+
+  // In-order: deliver, then drain any consecutive buffered packets.
+  Packet p;
+  p.header = header;
+  p.upper = std::move(upper);
+  p.payload = std::move(payload);
+  ++rx_next_;
+  ops_->deliver(peer_, std::move(p));
+  while (!reorder_.empty() && reorder_.begin()->first == rx_next_) {
+    auto node = reorder_.extract(reorder_.begin());
+    ++rx_next_;
+    ops_->deliver(peer_, std::move(node.mapped()));
+  }
+  note_ack_owed(wants_immediate_ack);
+}
+
+void Channel::note_ack_owed(bool immediate) {
+  ++acks_owed_;
+  if (immediate || acks_owed_ >= config_->ack_every) {
+    send_pure_ack();
+    return;
+  }
+  if (!ack_timer_armed_) {
+    ack_timer_armed_ = true;
+    const std::uint64_t generation = ++ack_timer_generation_;
+    ops_->kernel().add_timer(config_->ack_delay, [this, generation] {
+      if (generation != ack_timer_generation_) return;
+      ack_timer_armed_ = false;
+      if (acks_owed_ > 0) send_pure_ack();
+    });
+  }
+}
+
+void Channel::send_pure_ack() {
+  acks_owed_ = 0;
+  ++ack_timer_generation_;
+  ack_timer_armed_ = false;
+  ++acks_sent_;
+  ClicHeader h;
+  h.type = PacketType::kInternal;
+  h.flags = flags::kPureAck;
+  h.ack = rx_next_;
+  ops_->emit_ack(peer_, h);
+}
+
+}  // namespace clicsim::clic

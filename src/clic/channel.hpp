@@ -1,0 +1,121 @@
+// The per-node-pair reliable channel: sliding window, cumulative
+// acknowledgements with piggybacking, retransmission on timeout, in-order
+// delivery with an out-of-order reorder buffer (needed under channel
+// bonding, which stripes packets across NICs).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "clic/config.hpp"
+#include "clic/header.hpp"
+#include "net/buffer.hpp"
+#include "os/kernel.hpp"
+
+namespace clicsim::clic {
+
+// One CLIC packet plus its simulation-side bookkeeping.
+struct Packet {
+  ClicHeader header;
+  net::HeaderBlob upper;  // upper-layer header (first fragment only)
+  net::Buffer payload;
+  bool user_memory = false;  // payload still references user pages (0-copy)
+  bool pio = false;          // Figure 1 path 1: CPU pushes the bytes itself
+  int sg_fragments = 1;
+  // Fires once, when the packet's first DMA descriptor completes.
+  std::function<void()> on_descriptor_done;
+};
+
+// How the channel reaches the module's transmit machinery and delivery path.
+class ChannelOps {
+ public:
+  virtual ~ChannelOps() = default;
+
+  // Hands a data packet to the driver of the right NIC (charges driver
+  // cost; sets the piggybacked ack before building the frame).
+  virtual void emit_data(int peer, Packet& packet) = 0;
+
+  // Emits a pure acknowledgement (minimum-size internal packet).
+  virtual void emit_ack(int peer, const ClicHeader& header) = 0;
+
+  // In-order data arrival.
+  virtual void deliver(int peer, Packet packet) = 0;
+
+  virtual os::Kernel& kernel() = 0;
+};
+
+class Channel {
+ public:
+  Channel(const Config& config, ChannelOps& ops, int peer);
+
+  // --- Transmit side --------------------------------------------------------
+
+  // Queues `packet` (sequence number assigned here); transmits immediately
+  // when the window allows. `on_acked` fires when this packet is
+  // cumulatively acknowledged.
+  void send(Packet packet, std::function<void()> on_acked = {});
+
+  // Current cumulative ack to piggyback on outgoing data; marks owed acks
+  // as satisfied.
+  std::uint32_t take_piggyback_ack();
+
+  // --- Receive side ---------------------------------------------------------
+
+  // Processes any incoming packet for this peer (data, dup, out-of-order,
+  // or pure ack).
+  void packet_in(const ClicHeader& header, net::HeaderBlob upper,
+                 net::Buffer payload);
+
+  // --- Introspection ----------------------------------------------------------
+  [[nodiscard]] int in_flight() const {
+    return static_cast<int>(unacked_.size());
+  }
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+  [[nodiscard]] std::uint64_t retransmits() const { return retransmits_; }
+  [[nodiscard]] std::uint64_t duplicates() const { return duplicates_; }
+  [[nodiscard]] std::uint64_t out_of_order() const { return out_of_order_; }
+  [[nodiscard]] std::uint64_t acks_sent() const { return acks_sent_; }
+  [[nodiscard]] std::uint32_t rx_next() const { return rx_next_; }
+
+ private:
+  struct Unacked {
+    Packet packet;
+    std::function<void()> on_acked;
+  };
+
+  void transmit(Packet& packet);
+  void drain_pending();
+  void process_ack(std::uint32_t ack);
+  void arm_rto();
+  void rto_expired(std::uint64_t generation);
+  void note_ack_owed(bool immediate);
+  void send_pure_ack();
+
+  const Config* config_;
+  ChannelOps* ops_;
+  int peer_;
+
+  // TX state.
+  std::uint32_t next_seq_ = 0;
+  std::uint32_t tx_base_ = 0;  // oldest unacknowledged sequence
+  std::map<std::uint32_t, Unacked> unacked_;
+  std::deque<Unacked> pending_;  // waiting for window space
+  std::uint64_t rto_generation_ = 0;
+  bool rto_armed_ = false;
+
+  // RX state.
+  std::uint32_t rx_next_ = 0;
+  std::map<std::uint32_t, Packet> reorder_;
+  int acks_owed_ = 0;
+  std::uint64_t ack_timer_generation_ = 0;
+  bool ack_timer_armed_ = false;
+
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t out_of_order_ = 0;
+  std::uint64_t acks_sent_ = 0;
+};
+
+}  // namespace clicsim::clic

@@ -1,0 +1,715 @@
+#include "clic/module.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/log.hpp"
+
+namespace clicsim::clic {
+
+namespace {
+
+// Reassembly key: one in-flight message per (peer, src_port, dst_port) —
+// the module serializes each port pair's fragments on the in-order channel.
+std::uint64_t reassembly_key(int peer, std::uint8_t src_port,
+                             std::uint8_t dst_port, bool broadcast) {
+  return (static_cast<std::uint64_t>(broadcast) << 40) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer))
+          << 16) |
+         (static_cast<std::uint64_t>(src_port) << 8) | dst_port;
+}
+
+}  // namespace
+
+ClicModule::ClicModule(os::Node& node, Config config,
+                       const os::AddressMap& addresses)
+    : node_(&node), config_(config), addresses_(&addresses) {
+  for (int i = 0; i < node_->nic_count(); ++i) {
+    node_->driver(i).add_protocol(net::kEtherTypeClic, this);
+    node_->driver(i).set_direct_dispatch(config_.direct_dispatch);
+  }
+}
+
+ClicModule::~ClicModule() = default;
+
+void ClicModule::bind_port(int port) { ports_[port]; }
+
+void ClicModule::unbind_port(int port) {
+  auto it = ports_.find(port);
+  if (it == ports_.end()) return;
+  auto waiting = std::move(it->second.waiting);
+  ports_.erase(it);
+  for (auto& future : waiting) {
+    Message closed;
+    closed.src_node = -1;
+    future.set(std::move(closed));
+  }
+}
+
+bool ClicModule::poll(int port) const {
+  auto it = ports_.find(port);
+  return it != ports_.end() && !it->second.ready.empty();
+}
+
+ClicModule::PortState& ClicModule::port_state(int port) {
+  auto it = ports_.find(port);
+  if (it == ports_.end()) {
+    throw std::logic_error("ClicModule: port not bound");
+  }
+  return it->second;
+}
+
+Channel& ClicModule::channel(int peer) {
+  auto it = channels_.find(peer);
+  if (it == channels_.end()) {
+    // The ChannelOps base is private; the upcast is only accessible here.
+    ChannelOps& ops = *this;
+    it = channels_.emplace(peer, std::make_unique<Channel>(config_, ops, peer))
+             .first;
+  }
+  return *it->second;
+}
+
+Channel* ClicModule::channel_to(int peer) {
+  auto it = channels_.find(peer);
+  return it == channels_.end() ? nullptr : it->second.get();
+}
+
+std::int64_t ClicModule::chunk_bytes() const {
+  if (config_.use_nic_fragmentation &&
+      node_->nic(0).profile().on_nic_fragmentation) {
+    return config_.nic_frag_super_bytes - kClicHeaderBytes;
+  }
+  return node_->nic(0).mtu() - kClicHeaderBytes;
+}
+
+// --- Send path ---------------------------------------------------------------
+
+sim::Future<SendStatus> ClicModule::send(int src_port, int dst_node,
+                                         int dst_port, net::Buffer data,
+                                         SendMode mode, PacketType type,
+                                         net::HeaderBlob meta) {
+  sim::Future<SendStatus> result(sim());
+  ++messages_sent_;
+  bytes_sent_ += data.size();
+
+  if (dst_node == node_->id()) {
+    send_intra_node(src_port, dst_port, std::move(data), type,
+                    std::move(meta), result);
+    return result;
+  }
+
+  kernel().syscall([this, src_port, dst_node, dst_port,
+                    data = std::move(data), mode, type,
+                    meta = std::move(meta), result]() mutable {
+    const std::int64_t chunk = chunk_bytes();
+    std::deque<Packet> packets;
+    std::int64_t offset = 0;
+    bool first = true;
+    do {
+      // The upper-layer header rides on the first fragment and counts
+      // against its payload budget.
+      const std::int64_t budget =
+          first ? std::max<std::int64_t>(chunk - meta.wire_bytes(), 1)
+                : chunk;
+      const std::int64_t len = std::min(budget, data.size() - offset);
+      Packet p;
+      p.header.type = type;
+      if (first) p.upper = meta;
+      p.header.src_port = static_cast<std::uint8_t>(src_port);
+      p.header.dst_port = static_cast<std::uint8_t>(dst_port);
+      if (first) p.header.flags |= flags::kFirstFragment;
+      if (offset + len >= data.size()) {
+        p.header.flags |= flags::kLastFragment;
+        if (mode == SendMode::kConfirmed) {
+          p.header.flags |= flags::kAckRequested;
+        }
+      }
+      p.payload = len > 0 ? data.slice(offset, len) : net::Buffer::zeros(0);
+      packets.push_back(std::move(p));
+      offset += len;
+      first = false;
+    } while (offset < data.size());
+    send_packets(dst_node, std::move(packets), mode, result);
+  });
+  return result;
+}
+
+void ClicModule::send_packets(int dst_node, std::deque<Packet> packets,
+                              SendMode mode,
+                              sim::Future<SendStatus> result) {
+  struct State {
+    std::deque<Packet> packets;
+    int dma_remaining = 0;
+  };
+  auto state = std::make_shared<State>();
+  state->packets = std::move(packets);
+  state->dma_remaining = static_cast<int>(state->packets.size());
+
+  auto finish = [this, result]() mutable {
+    kernel().syscall_return([result]() mutable { result.set({true}); });
+  };
+
+  // Completion wiring by mode.
+  if (mode == SendMode::kSync) {
+    for (auto& p : state->packets) {
+      p.on_descriptor_done = [state, finish]() mutable {
+        if (--state->dma_remaining == 0) finish();
+      };
+    }
+  }
+
+  // Per-packet kernel processing: CLIC_MODULE header build + data-path
+  // preparation, then the packet enters the reliable channel. Packets are
+  // processed sequentially, so emission overlaps DMA of earlier packets.
+  auto process_next = std::make_shared<std::function<void()>>();
+  *process_next = [this, state, dst_node, mode, finish,
+                   process_next]() mutable {
+    if (state->packets.empty()) {
+      if (mode == SendMode::kAsync) finish();
+      // Break the shared_ptr cycle now that processing is complete.
+      *process_next = nullptr;
+      return;
+    }
+    Packet p = std::move(state->packets.front());
+    state->packets.pop_front();
+    const bool last = state->packets.empty();
+
+    node_->cpu().run(
+        sim::CpuPriority::kKernel, config_.module_tx_cost,
+        [this, p = std::move(p), dst_node, mode, last, finish,
+         process_next]() mutable {
+          // prepare_packet_data needs a stable Packet; keep it in a shared
+          // holder across the asynchronous cost charge.
+          auto holder = std::make_shared<Packet>(std::move(p));
+          prepare_packet_data(*holder,
+                              [this, holder, dst_node, mode, last, finish,
+                               process_next]() mutable {
+                                std::function<void()> on_acked;
+                                if (mode == SendMode::kConfirmed && last) {
+                                  on_acked = finish;
+                                }
+                                channel(dst_node)
+                                    .send(std::move(*holder),
+                                          std::move(on_acked));
+                                (*process_next)();
+                              });
+        });
+  };
+  (*process_next)();
+}
+
+void ClicModule::prepare_packet_data(Packet& packet,
+                                     std::function<void()> next) {
+  auto& cpu = node_->cpu();
+  TxPath path = config_.tx_path;
+  if (path == TxPath::kZeroCopy && !node_->nic(0).profile().scatter_gather) {
+    path = TxPath::kOneCopy;  // card cannot DMA from scattered user pages
+  }
+
+  switch (path) {
+    case TxPath::kZeroCopy:
+      // Path 2: the SK_BUFF points at user memory; no CPU copy at all.
+      packet.user_memory = true;
+      packet.sg_fragments = 2;  // header block + user data
+      cpu.run(sim::CpuPriority::kKernel, 0, std::move(next));
+      return;
+
+    case TxPath::kOneCopy: {
+      // Path 3: one copy into a kernel buffer, DMA from there.
+      const std::int64_t n = packet.payload.size();
+      node_->mem().copy_pressure(n);
+      packet.sg_fragments = 1;
+      cpu.run(sim::CpuPriority::kKernel, cpu.copy_cost(n), std::move(next));
+      return;
+    }
+
+    case TxPath::kTwoCopy: {
+      // Path 4 (Fast Ethernet CLIC): kernel buffer plus a staging copy
+      // towards the card's output buffer.
+      const std::int64_t n = packet.payload.size();
+      node_->mem().copy_pressure(n);
+      node_->mem().copy_pressure(n);
+      packet.sg_fragments = 1;
+      cpu.run(sim::CpuPriority::kKernel, 2 * cpu.copy_cost(n),
+              std::move(next));
+      return;
+    }
+
+    case TxPath::kDirectPio: {
+      // Path 1: the CPU itself pushes the bytes across PCI (programmed
+      // I/O) — extremely slow per byte, which is why nobody uses it.
+      packet.pio = true;
+      const std::int64_t wire = packet.payload.size() + kClicHeaderBytes +
+                                net::kEthHeaderBytes + net::kEthFcsBytes;
+      const sim::SimTime pio_time =
+          node_->pci().transaction_time(wire, /*efficiency=*/0.15);
+      node_->pci().transfer(pio_time);
+      cpu.run(sim::CpuPriority::kKernel, pio_time, std::move(next));
+      return;
+    }
+  }
+}
+
+void ClicModule::emit_data(int peer, Packet& packet) {
+  // Snapshot everything needed for the asynchronous emission; the stored
+  // Packet in the channel keeps the authoritative copy for retransmission.
+  const int nic_index =
+      (!config_.channel_bonding || node_->nic_count() == 1)
+          ? 0
+          : (rr_nic_ = (rr_nic_ + 1) % node_->nic_count());
+
+  const auto& peer_macs = addresses_->macs_of(peer);
+  os::SkBuff skb;
+  skb.dst = peer_macs[static_cast<std::size_t>(nic_index) % peer_macs.size()];
+  skb.src = node_->mac(nic_index);
+  skb.ethertype = net::kEtherTypeClic;
+  skb.header = net::HeaderBlob::of(
+      WireHeader{packet.header, packet.upper},
+      kClicHeaderBytes + packet.upper.wire_bytes());
+  skb.payload = packet.payload;
+  skb.sg_fragments = packet.sg_fragments;
+  skb.references_user_memory = packet.user_memory;
+
+  auto on_done = packet.on_descriptor_done;
+  const bool pio = packet.pio;
+
+  node_->cpu().run(
+      sim::CpuPriority::kKernel, config_.driver_tx_cost,
+      [this, nic_index, skb = std::move(skb), on_done = std::move(on_done),
+       pio]() mutable {
+        auto& driver = node_->driver(nic_index);
+        if (pio) {
+          driver.nic().post_tx_pio(skb.to_frame());
+          if (on_done) on_done();
+          return;
+        }
+        if (driver.nic().tx_ring_full() && skb.references_user_memory) {
+          // Ring full: the module stages the data in system memory so the
+          // user buffer is released, and the driver sends it later
+          // (section 3.1). The copy overlaps other packets' DMA.
+          const std::int64_t n = skb.payload.size();
+          node_->mem().copy_pressure(n);
+          skb.references_user_memory = false;
+          skb.sg_fragments = 1;
+          node_->cpu().run(sim::CpuPriority::kKernel,
+                           node_->cpu().copy_cost(n),
+                           [this, nic_index, skb = std::move(skb),
+                            on_done = std::move(on_done)]() mutable {
+                             node_->driver(nic_index).xmit_or_queue(
+                                 std::move(skb), std::move(on_done));
+                           });
+          return;
+        }
+        driver.xmit_or_queue(std::move(skb), std::move(on_done));
+      });
+}
+
+void ClicModule::emit_ack(int peer, const ClicHeader& header) {
+  os::SkBuff skb;
+  skb.dst = addresses_->macs_of(peer)[0];
+  skb.src = node_->mac(0);
+  skb.ethertype = net::kEtherTypeClic;
+  skb.header = net::HeaderBlob::of(WireHeader{header, {}}, kClicHeaderBytes);
+  skb.payload = net::Buffer::zeros(0);
+
+  // Pure acks are emitted inline from the receive context that owed them
+  // (the bottom half), ahead of the remaining packet backlog.
+  node_->cpu().run_next(rx_prio_, config_.ack_tx_cost,
+                        [this, skb = std::move(skb)]() mutable {
+                          node_->driver(0).xmit_or_queue(std::move(skb));
+                        });
+}
+
+// --- Intra-node path ----------------------------------------------------------
+
+void ClicModule::send_intra_node(int src_port, int dst_port,
+                                 net::Buffer data, PacketType type,
+                                 net::HeaderBlob meta,
+                                 sim::Future<SendStatus> result) {
+  ++intra_node_;
+  kernel().syscall([this, src_port, dst_port, data = std::move(data), type,
+                    meta = std::move(meta), result]() mutable {
+    // One copy user -> system memory; the receive side copies system ->
+    // user as with any queued message. No NIC involved.
+    node_->cpu().run(sim::CpuPriority::kKernel, config_.module_tx_cost);
+    node_->copy_data(sim::CpuPriority::kKernel, data.size(),
+            [this, src_port, dst_port, data = std::move(data), type,
+             meta = std::move(meta), result]() mutable {
+              Message m;
+              m.src_node = node_->id();
+              m.src_port = static_cast<std::uint8_t>(src_port);
+              m.dst_port = static_cast<std::uint8_t>(dst_port);
+              m.type = type;
+              m.meta = std::move(meta);
+              m.data = std::move(data);
+              ++messages_received_;
+              bytes_received_ += m.data.size();
+              if (m.type == PacketType::kRemoteWrite) {
+                finish_remote_write(std::move(m), sim::CpuPriority::kKernel);
+              } else if (m.type == PacketType::kKernelFn) {
+                auto fit = kernel_fns_.find(m.dst_port);
+                if (fit != kernel_fns_.end()) fit->second(std::move(m));
+              } else {
+                deliver_message(std::move(m), sim::CpuPriority::kKernel);
+              }
+              kernel().syscall_return(
+                  [result]() mutable { result.set({true}); });
+            });
+  });
+}
+
+// --- Broadcast ------------------------------------------------------------------
+
+sim::Future<SendStatus> ClicModule::broadcast(int src_port, int dst_port,
+                                              net::Buffer data,
+                                              net::HeaderBlob meta) {
+  return datagram_to(net::MacAddr::broadcast(), src_port, dst_port,
+                     std::move(data), std::move(meta));
+}
+
+void ClicModule::join_group(int group_id) {
+  for (int i = 0; i < node_->nic_count(); ++i) {
+    node_->nic(i).join_multicast(
+        net::MacAddr::multicast(static_cast<std::uint32_t>(group_id)));
+  }
+}
+
+void ClicModule::leave_group(int group_id) {
+  for (int i = 0; i < node_->nic_count(); ++i) {
+    node_->nic(i).leave_multicast(
+        net::MacAddr::multicast(static_cast<std::uint32_t>(group_id)));
+  }
+}
+
+sim::Future<SendStatus> ClicModule::multicast(int group_id, int src_port,
+                                              int dst_port, net::Buffer data,
+                                              net::HeaderBlob meta) {
+  return datagram_to(
+      net::MacAddr::multicast(static_cast<std::uint32_t>(group_id)),
+      src_port, dst_port, std::move(data), std::move(meta));
+}
+
+sim::Future<SendStatus> ClicModule::datagram_to(net::MacAddr dst,
+                                                int src_port, int dst_port,
+                                                net::Buffer data,
+                                                net::HeaderBlob meta) {
+  sim::Future<SendStatus> result(sim());
+  ++messages_sent_;
+  bytes_sent_ += data.size();
+
+  kernel().syscall([this, dst, src_port, dst_port, data = std::move(data),
+                    meta = std::move(meta), result]() mutable {
+    const std::int64_t chunk = chunk_bytes();
+    struct State {
+      int dma_remaining = 0;
+    };
+    auto state = std::make_shared<State>();
+    // Fragment count: the first fragment's budget is reduced by the upper
+    // header; count conservatively by construction below.
+    state->dma_remaining = [&] {
+      std::int64_t off = 0;
+      int count = 0;
+      bool head = true;
+      do {
+        const std::int64_t budget =
+            head ? std::max<std::int64_t>(chunk - meta.wire_bytes(), 1)
+                 : chunk;
+        off += std::min(budget, data.size() - off);
+        head = false;
+        ++count;
+      } while (off < data.size());
+      return count;
+    }();
+
+    auto finish = [this, result]() mutable {
+      kernel().syscall_return([result]() mutable { result.set({true}); });
+    };
+
+    std::int64_t offset = 0;
+    bool first = true;
+    std::uint32_t seq = 0;
+    do {
+      // The upper-layer header rides on the first fragment and counts
+      // against its payload budget.
+      const std::int64_t budget =
+          first ? std::max<std::int64_t>(chunk - meta.wire_bytes(), 1)
+                : chunk;
+      const std::int64_t len = std::min(budget, data.size() - offset);
+      ClicHeader h;
+      h.type = PacketType::kBroadcast;
+      h.src_port = static_cast<std::uint8_t>(src_port);
+      h.dst_port = static_cast<std::uint8_t>(dst_port);
+      h.seq = seq++;
+      if (first) h.flags |= flags::kFirstFragment;
+      if (offset + len >= data.size()) h.flags |= flags::kLastFragment;
+
+      os::SkBuff skb;
+      skb.dst = dst;
+      skb.src = node_->mac(0);
+      skb.ethertype = net::kEtherTypeClic;
+      const net::HeaderBlob upper = first ? meta : net::HeaderBlob{};
+      skb.header = net::HeaderBlob::of(WireHeader{h, upper},
+                                       kClicHeaderBytes + upper.wire_bytes());
+      skb.payload =
+          len > 0 ? data.slice(offset, len) : net::Buffer::zeros(0);
+      skb.sg_fragments = node_->nic(0).profile().scatter_gather ? 2 : 1;
+
+      node_->cpu().run(
+          sim::CpuPriority::kKernel,
+          config_.module_tx_cost + config_.driver_tx_cost,
+          [this, skb = std::move(skb), state, finish]() mutable {
+            node_->driver(0).xmit_or_queue(std::move(skb),
+                                           [state, finish]() mutable {
+                                             if (--state->dma_remaining == 0) {
+                                               finish();
+                                             }
+                                           });
+          });
+      offset += len;
+      first = false;
+    } while (offset < data.size());
+  });
+  return result;
+}
+
+void ClicModule::handle_broadcast(int peer, const ClicHeader& header,
+                                  net::HeaderBlob upper, net::Buffer payload,
+                                  sim::CpuPriority prio) {
+  const std::uint64_t key = reassembly_key(peer, header.src_port,
+                                           header.dst_port, true);
+  auto& re = reassembly_[key];
+  if (header.flags & flags::kFirstFragment) {
+    re.chain.clear();
+    re.meta = std::move(upper);
+    re.copy.reset();
+    re.copied = 0;
+  }
+  re.chain.append(std::move(payload));
+  if (!(header.flags & flags::kLastFragment)) return;
+
+  Message m;
+  m.src_node = peer;
+  m.src_port = header.src_port;
+  m.dst_port = header.dst_port;
+  m.type = PacketType::kBroadcast;
+  m.meta = std::move(re.meta);
+  m.data = re.chain.flatten();
+  reassembly_.erase(key);
+  ++messages_received_;
+  bytes_received_ += m.data.size();
+  deliver_message(std::move(m), prio);
+}
+
+// --- Remote write ----------------------------------------------------------------
+
+void ClicModule::register_region(int region_id, std::int64_t capacity) {
+  auto& r = regions_[region_id];
+  r.capacity = capacity;
+  if (!r.trigger) r.trigger = std::make_unique<sim::Trigger>(sim());
+}
+
+sim::Future<SendStatus> ClicModule::remote_write(int dst_node, int region_id,
+                                                 net::Buffer data,
+                                                 SendMode mode) {
+  return send(/*src_port=*/0, dst_node, /*dst_port=*/region_id,
+              std::move(data), mode, PacketType::kRemoteWrite);
+}
+
+std::int64_t ClicModule::region_bytes(int region_id) const {
+  auto it = regions_.find(region_id);
+  return it == regions_.end() ? 0 : it->second.data.size();
+}
+
+net::Buffer ClicModule::region_contents(int region_id) const {
+  auto it = regions_.find(region_id);
+  if (it == regions_.end()) return net::Buffer::zeros(0);
+  return it->second.data.flatten();
+}
+
+sim::Trigger& ClicModule::region_trigger(int region_id) {
+  auto it = regions_.find(region_id);
+  if (it == regions_.end()) {
+    throw std::logic_error("ClicModule: region not registered");
+  }
+  return *it->second.trigger;
+}
+
+void ClicModule::finish_remote_write(Message message,
+                                     sim::CpuPriority prio) {
+  auto it = regions_.find(message.dst_port);
+  if (it == regions_.end()) return;  // unregistered region: protection drop
+  Region& region = it->second;
+  if (region.data.size() + message.data.size() > region.capacity) return;
+
+  // The module moves the data straight into the registered user region —
+  // no receive call involved (step 7 of Figure 3).
+  const int region_id = message.dst_port;
+  node_->copy_data(prio, message.data.size(),
+                   [this, region_id, data = std::move(message.data)]() mutable {
+                     auto rit = regions_.find(region_id);
+                     if (rit == regions_.end()) return;
+                     rit->second.data.append(std::move(data));
+                     rit->second.trigger->fire();
+                   });
+}
+
+// --- Kernel functions ---------------------------------------------------------
+
+void ClicModule::register_kernel_fn(int fn_id,
+                                    std::function<void(Message)> fn) {
+  kernel_fns_[fn_id] = std::move(fn);
+}
+
+// --- Receive path -----------------------------------------------------------------
+
+void ClicModule::packet_received(net::Frame frame, bool from_isr) {
+  const auto prio =
+      from_isr ? sim::CpuPriority::kInterrupt : sim::CpuPriority::kSoftirq;
+  const auto* wire = frame.header.get<WireHeader>();
+  if (wire == nullptr) return;
+  if (!addresses_->knows(frame.src)) return;
+  const int peer = addresses_->node_of(frame.src);
+
+  node_->cpu().run(prio, config_.module_rx_cost,
+                   [this, peer, h = wire->clic, upper = wire->upper,
+                    payload = std::move(frame.payload), prio]() mutable {
+                     rx_prio_ = prio;
+                     if (h.type == PacketType::kBroadcast) {
+                       handle_broadcast(peer, h, std::move(upper),
+                                        std::move(payload), prio);
+                       return;
+                     }
+                     channel(peer).packet_in(h, std::move(upper),
+                                             std::move(payload));
+                   });
+}
+
+void ClicModule::deliver(int peer, Packet packet) {
+  const std::int64_t frag_bytes = packet.payload.size();
+  bytes_received_ += frag_bytes;
+  const std::uint64_t key = reassembly_key(peer, packet.header.src_port,
+                                           packet.header.dst_port, false);
+  auto& re = reassembly_[key];
+  if (packet.header.flags & flags::kFirstFragment) {
+    re.chain.clear();
+    re.meta = std::move(packet.upper);
+    re.copy.reset();
+    re.copied = 0;
+  }
+  re.chain.append(std::move(packet.payload));
+
+  // If a process is already blocked in recv on this port, the module copies
+  // each packet straight to its user memory as it arrives — the copy then
+  // overlaps the DMA of later packets.
+  const bool to_port = packet.header.type != PacketType::kRemoteWrite &&
+                       packet.header.type != PacketType::kKernelFn;
+  if (to_port && frag_bytes > 0) {
+    auto pit = ports_.find(packet.header.dst_port);
+    if (pit != ports_.end() && !pit->second.waiting.empty()) {
+      if (!re.copy) {
+        re.copy = std::make_shared<os::CopyChain>(*node_, rx_prio_);
+      }
+      re.copy->add(frag_bytes);
+      re.copied += frag_bytes;
+    }
+  }
+
+  if (!(packet.header.flags & flags::kLastFragment)) return;
+
+  Message m;
+  m.src_node = peer;
+  m.src_port = packet.header.src_port;
+  m.dst_port = packet.header.dst_port;
+  m.type = packet.header.type;
+  m.meta = std::move(re.meta);
+  m.data = re.chain.flatten();
+  auto copy = std::move(re.copy);
+  const std::int64_t copied = re.copied;
+  reassembly_.erase(key);
+  ++messages_received_;
+
+  switch (m.type) {
+    case PacketType::kRemoteWrite:
+      finish_remote_write(std::move(m), rx_prio_);
+      return;
+    case PacketType::kKernelFn: {
+      auto it = kernel_fns_.find(m.dst_port);
+      if (it != kernel_fns_.end()) it->second(std::move(m));
+      return;
+    }
+    default:
+      deliver_message(std::move(m), rx_prio_, std::move(copy), copied);
+  }
+}
+
+// --- Port delivery / receive --------------------------------------------------
+
+void ClicModule::deliver_message(Message message, sim::CpuPriority prio,
+                                 std::shared_ptr<os::CopyChain> chain,
+                                 std::int64_t copied) {
+  auto it = ports_.find(message.dst_port);
+  if (it == ports_.end()) {
+    CLICSIM_LOG(sim(), sim::LogLevel::kDebug, "clic")
+        << "drop to unbound port " << int{message.dst_port};
+    return;  // protection: nothing listens on this port
+  }
+  PortState& ps = it->second;
+  if (!ps.waiting.empty()) {
+    auto future = std::move(ps.waiting.front());
+    ps.waiting.pop_front();
+    complete_recv(std::move(future), std::move(message), prio,
+                  /*wake_process=*/true, std::move(chain), copied);
+    return;
+  }
+  // No receive posted: the packet stays in system memory until one arrives.
+  ps.ready.push_back(std::move(message));
+}
+
+void ClicModule::complete_recv(sim::Future<Message> future, Message message,
+                               sim::CpuPriority prio, bool wake_process,
+                               std::shared_ptr<os::CopyChain> chain,
+                               std::int64_t copied) {
+  if (!chain) chain = std::make_shared<os::CopyChain>(*node_, prio);
+  chain->add(message.data.size() - copied);
+  chain->finish([this, chain, future = std::move(future),
+                 message = std::move(message), wake_process]() mutable {
+    auto& cpu = node_->cpu();
+    if (wake_process) {
+      cpu.run(sim::CpuPriority::kKernel, cpu.params().process_wakeup,
+              [this, future = std::move(future),
+               message = std::move(message)]() mutable {
+                node_->cpu().run(sim::CpuPriority::kUser,
+                                 node_->cpu().params().context_switch,
+                                 [future = std::move(future),
+                                  message = std::move(message)]() mutable {
+                                   future.set(std::move(message));
+                                 });
+              });
+    } else {
+      kernel().syscall_return([future = std::move(future),
+                               message = std::move(message)]() mutable {
+        future.set(std::move(message));
+      });
+    }
+  });
+}
+
+sim::Future<Message> ClicModule::recv(int port) {
+  sim::Future<Message> future(sim());
+  kernel().syscall([this, port, future]() mutable {
+    PortState& ps = port_state(port);
+    if (!ps.ready.empty()) {
+      Message m = std::move(ps.ready.front());
+      ps.ready.pop_front();
+      complete_recv(std::move(future), std::move(m),
+                    sim::CpuPriority::kKernel, /*wake_process=*/false);
+      return;
+    }
+    ps.waiting.push_back(std::move(future));
+  });
+  return future;
+}
+
+}  // namespace clicsim::clic

@@ -1,0 +1,57 @@
+// Per-node CPU: a priority-ordered serial resource plus data-touch cost
+// helpers. Interrupt work preempts (runs ahead of) softirq work, which runs
+// ahead of kernel work, which runs ahead of user work — non-preemptively
+// within an item (see sim::PriorityResource).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "hw/params.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace clicsim::hw {
+
+class Cpu {
+ public:
+  Cpu(sim::Simulator& sim, const HostParams& params, std::string name)
+      : params_(params), res_(sim, std::move(name)) {}
+
+  // Queues `duration` of work at `prio`; `done` runs when it completes.
+  void run(sim::CpuPriority prio, sim::SimTime duration,
+           std::function<void()> done = {}) {
+    res_.submit(prio, duration, std::move(done));
+  }
+
+  // Runs ahead of everything already queued at `prio` — a continuation of
+  // the currently-executing item (inline ack emission and the like).
+  void run_next(sim::CpuPriority prio, sim::SimTime duration,
+                std::function<void()> done = {}) {
+    res_.submit_front(prio, duration, std::move(done));
+  }
+
+  // CPU time to memcpy `bytes` (user<->kernel or kernel<->kernel).
+  [[nodiscard]] sim::SimTime copy_cost(std::int64_t bytes) const {
+    return sim::transfer_time(bytes, params_.cpu_copy_bytes_per_s);
+  }
+
+  // CPU time to checksum `bytes` (TCP/IP software checksum).
+  [[nodiscard]] sim::SimTime checksum_cost(std::int64_t bytes) const {
+    return sim::transfer_time(bytes, params_.cpu_checksum_bytes_per_s);
+  }
+
+  [[nodiscard]] const HostParams& params() const { return params_; }
+
+  [[nodiscard]] double utilization() const { return res_.utilization(); }
+  [[nodiscard]] sim::SimTime busy_time() const { return res_.busy_time(); }
+  [[nodiscard]] sim::SimTime busy_time(sim::CpuPriority p) const {
+    return res_.busy_time(p);
+  }
+
+ private:
+  HostParams params_;
+  sim::PriorityResource res_;
+};
+
+}  // namespace clicsim::hw

@@ -1,0 +1,47 @@
+#include "hw/interrupt.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace clicsim::hw {
+
+void InterruptController::register_handler(int irq,
+                                           std::function<void()> handler) {
+  lines_.at(static_cast<std::size_t>(irq)).handler = std::move(handler);
+}
+
+void InterruptController::raise(int irq) {
+  Line& line = lines_.at(static_cast<std::size_t>(irq));
+  ++line.raised;
+  if (line.active) {
+    line.pending = true;
+    return;
+  }
+  line.active = true;
+  dispatch(irq);
+}
+
+void InterruptController::dispatch(int irq) {
+  Line& line = lines_[static_cast<std::size_t>(irq)];
+  if (!line.handler) {
+    throw std::logic_error("InterruptController: raise on unhandled IRQ");
+  }
+  ++line.delivered;
+  sim_->after(cpu_->params().irq_dispatch, [this, irq] {
+    Line& l = lines_[static_cast<std::size_t>(irq)];
+    cpu_->run(sim::CpuPriority::kInterrupt, cpu_->params().isr_entry,
+              [handler = l.handler] { handler(); });
+  });
+}
+
+void InterruptController::eoi(int irq) {
+  Line& line = lines_.at(static_cast<std::size_t>(irq));
+  line.active = false;
+  if (line.pending) {
+    line.pending = false;
+    line.active = true;
+    dispatch(irq);
+  }
+}
+
+}  // namespace clicsim::hw

@@ -1,0 +1,54 @@
+// Interrupt controller: routes device interrupts to CPU interrupt-priority
+// work with a dispatch latency, and latches re-raises while a line's handler
+// is active (level-triggered semantics: the handler re-runs once after EOI
+// if the device raised again meanwhile).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hw/cpu.hpp"
+#include "sim/simulator.hpp"
+
+namespace clicsim::hw {
+
+class InterruptController {
+ public:
+  static constexpr int kMaxIrqs = 16;
+
+  InterruptController(sim::Simulator& sim, Cpu& cpu)
+      : sim_(&sim), cpu_(&cpu), lines_(kMaxIrqs) {}
+
+  // The handler runs at interrupt priority after the dispatch latency and
+  // the ISR prologue cost. It must call `eoi(irq)` when the ISR logically
+  // completes (possibly after charging further CPU work).
+  void register_handler(int irq, std::function<void()> handler);
+
+  void raise(int irq);
+  void eoi(int irq);
+
+  [[nodiscard]] std::uint64_t raised(int irq) const {
+    return lines_[static_cast<std::size_t>(irq)].raised;
+  }
+  [[nodiscard]] std::uint64_t delivered(int irq) const {
+    return lines_[static_cast<std::size_t>(irq)].delivered;
+  }
+
+ private:
+  struct Line {
+    std::function<void()> handler;
+    bool active = false;   // ISR dispatched, EOI not yet received
+    bool pending = false;  // raised while active
+    std::uint64_t raised = 0;
+    std::uint64_t delivered = 0;
+  };
+
+  void dispatch(int irq);
+
+  sim::Simulator* sim_;
+  Cpu* cpu_;
+  std::vector<Line> lines_;
+};
+
+}  // namespace clicsim::hw

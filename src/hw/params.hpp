@@ -1,0 +1,153 @@
+// Central calibration constants for the hardware and OS substrate.
+//
+// Defaults reproduce the paper's testbed: ~1.5 GHz Pentium-class PCs,
+// 33 MHz/32-bit PCI, PC133-era memory, SMC9462TX / 3C996-T Gigabit NICs.
+// Timing constants the paper states explicitly (0.65 us syscall round trip,
+// 0.7 us CLIC_MODULE send, 4 us driver send, ~20 us receive interrupt path)
+// appear either here or in the protocol configs; everything else is
+// calibrated so the headline results land near the published values (see
+// EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace clicsim::hw {
+
+struct HostParams {
+  double cpu_ghz = 1.5;
+
+  // System call: enter + leave ~= 0.65 us total (paper, section 3.1).
+  sim::SimTime syscall_enter = sim::nanoseconds(300);
+  sim::SimTime syscall_exit = sim::nanoseconds(350);
+
+  // Interrupt path: controller/kernel dispatch until the ISR starts, ISR
+  // prologue, and per-frame driver receive handling.
+  sim::SimTime irq_dispatch = sim::microseconds(2.2);
+  sim::SimTime isr_entry = sim::microseconds(1.0);
+  sim::SimTime isr_per_frame = sim::microseconds(4.0);
+  // Fig. 8b direct-dispatch path: the driver does only ring bookkeeping
+  // before calling the protocol module straight from the ISR.
+  sim::SimTime isr_per_frame_direct = sim::microseconds(1.0);
+
+  sim::SimTime skbuff_alloc = sim::microseconds(4.5);
+  sim::SimTime bottom_half_dispatch = sim::microseconds(3.5);
+  sim::SimTime context_switch = sim::microseconds(1.3);
+  sim::SimTime process_wakeup = sim::microseconds(0.8);
+
+  // Effective CPU data-touch rates (already include cache effects).
+  double cpu_copy_bytes_per_s = 350e6;
+  double cpu_checksum_bytes_per_s = 500e6;
+
+  // Shared memory-bus budget for DMA traffic plus copy pressure.
+  double mem_bus_bytes_per_s = 225e6;
+};
+
+struct PciParams {
+  double clock_hz = 33e6;  // PCI 2.1, 33 MHz
+  int width_bytes = 4;     // 32-bit
+
+  [[nodiscard]] double peak_bytes_per_s() const {
+    return clock_hz * width_bytes;  // 132 MB/s
+  }
+};
+
+// Per-NIC capabilities and costs. Presets model the cards named in the
+// paper; the exact silicon is irrelevant — what matters is which features
+// (jumbo, scatter/gather, coalescing, on-NIC fragmentation) each provides
+// and at what per-transaction cost.
+struct NicProfile {
+  std::string name = "smc9462";
+
+  std::int64_t max_mtu = 9000;        // jumbo-capable
+  bool scatter_gather = true;         // S/G bus-master DMA (enables 0-copy)
+  bool on_nic_fragmentation = false;  // firmware frag/reassembly (future work)
+
+  // Per-DMA-transaction fixed cost: descriptor fetch, doorbell, bus
+  // acquisition and completion write-back — several non-burst PCI accesses
+  // at 33 MHz.
+  sim::SimTime dma_setup = sim::microseconds(1.0);
+  sim::SimTime per_fragment = sim::nanoseconds(250);
+  sim::SimTime tx_fifo_latency = sim::microseconds(0.2);
+  sim::SimTime rx_fifo_latency = sim::microseconds(0.2);
+
+  int tx_ring = 64;
+  int rx_ring = 64;
+
+  // Early transmit: the card starts serializing onto the wire once a FIFO
+  // threshold is buffered, so the wire overlaps the (slower) tx DMA and a
+  // frame reaches the far end shortly after its DMA completes. Wire
+  // occupancy is charged in full either way.
+  bool early_transmit = true;
+  sim::SimTime early_tx_tail = sim::microseconds(2.0);
+
+  // Interrupt coalescing defaults (drivers can adjust at runtime, as the
+  // paper notes modern drivers allow).
+  sim::SimTime coalesce_usecs = sim::microseconds(30.0);
+  int coalesce_frames = 8;
+
+  // PCI burst efficiency grows with transfer size (longer bursts amortize
+  // arbitration and address phases): eff(n) = max * n / (n + halfpoint).
+  double pci_eff_max = 0.63;
+  std::int64_t pci_burst_halfpoint = 300;  // bytes
+
+  [[nodiscard]] double pci_efficiency(std::int64_t bytes) const {
+    if (bytes <= 0) return pci_eff_max;
+    const double n = static_cast<double>(bytes);
+    return pci_eff_max * n / (n + static_cast<double>(pci_burst_halfpoint));
+  }
+
+  // Firmware processing rate for on-NIC fragmentation/reassembly.
+  double nic_proc_bytes_per_s = 400e6;
+
+  // The paper's Gigabit cards (SMC9462TX / 3C996-T class).
+  static NicProfile smc9462();
+  // Alteon AceNIC GA620 (GAMMA's faster card: two MIPS cores, 2 MB DRAM).
+  static NicProfile ga620();
+  // Packet Engines GNIC-II (GAMMA's 9.5 us / 768 Mb/s configuration).
+  static NicProfile gnic2();
+  // 100 Mb/s Fast Ethernet card without S/G or jumbo (first CLIC version).
+  static NicProfile fast_ether_100();
+};
+
+inline NicProfile NicProfile::smc9462() { return NicProfile{}; }
+
+inline NicProfile NicProfile::ga620() {
+  NicProfile p;
+  p.name = "ga620";
+  p.pci_eff_max = 0.92;  // on-card CPUs sustain long bursts
+  p.pci_burst_halfpoint = 200;
+  p.dma_setup = sim::microseconds(0.8);
+  p.on_nic_fragmentation = true;  // firmware is programmable ([11])
+  // The AceNIC's MIPS firmware adds noticeable per-frame store-and-forward
+  // latency (why GAMMA measured 32 us on it vs 9.5 us on the dumb GNIC-II).
+  p.tx_fifo_latency = sim::microseconds(5.0);
+  p.rx_fifo_latency = sim::microseconds(5.0);
+  return p;
+}
+
+inline NicProfile NicProfile::gnic2() {
+  NicProfile p;
+  p.name = "gnic2";
+  p.max_mtu = 1500;  // no jumbo frames
+  p.pci_eff_max = 0.88;
+  p.pci_burst_halfpoint = 250;
+  p.dma_setup = sim::microseconds(0.6);
+  return p;
+}
+
+inline NicProfile NicProfile::fast_ether_100() {
+  NicProfile p;
+  p.name = "fe100";
+  p.max_mtu = 1500;
+  p.scatter_gather = false;  // forces the copy-through-system-memory path
+  p.coalesce_frames = 1;     // no coalescing support
+  p.coalesce_usecs = 0;
+  p.pci_eff_max = 0.50;
+  p.early_transmit = false;  // strict store-and-forward FIFO
+  return p;
+}
+
+}  // namespace clicsim::hw

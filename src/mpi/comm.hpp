@@ -1,0 +1,138 @@
+// Mini-MPI: tagged point-to-point messaging with eager/rendezvous
+// protocols, wildcard matching, an unexpected-message queue, and the
+// collectives Figure 6's workloads (and the LAM-MPI-on-CLIC port of [12])
+// exercise: Barrier, Bcast, Reduce, Allreduce, Gather.
+//
+// One Communicator per rank, stacked on a Transport (CLIC or TCP). Tags
+// >= kInternalTagBase are reserved for collectives.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "mpi/transport.hpp"
+
+namespace clicsim::mpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+inline constexpr int kInternalTagBase = 1 << 20;
+
+struct Config {
+  std::int64_t eager_threshold = 16 * 1024;  // rendezvous above this
+  sim::SimTime match_cost = sim::nanoseconds(500);   // queue operations
+  double reduce_ns_per_byte = 1.0;                   // combine arithmetic
+};
+
+struct RecvResult {
+  int src = -1;
+  int tag = 0;
+  net::Buffer data;
+};
+
+class Communicator {
+ public:
+  explicit Communicator(Transport& transport, Config config = {});
+
+  [[nodiscard]] int rank() const { return transport_->rank(); }
+  [[nodiscard]] int size() const { return transport_->size(); }
+
+  // --- Point to point -------------------------------------------------------
+  // Standard-mode send: eager messages complete at local hand-off;
+  // rendezvous sends complete when the payload left for a matched receive.
+  [[nodiscard]] sim::Future<bool> send(int dst, int tag, net::Buffer data);
+
+  [[nodiscard]] sim::Future<RecvResult> recv(int src = kAnySource,
+                                             int tag = kAnyTag);
+
+  // --- Collectives -------------------------------------------------------------
+  [[nodiscard]] sim::Future<bool> barrier();
+  // Returns the broadcast payload on every rank (root passes the data).
+  [[nodiscard]] sim::Future<net::Buffer> bcast(int root, net::Buffer data);
+  [[nodiscard]] sim::Future<net::Buffer> reduce_sum(int root,
+                                                    net::Buffer data);
+  [[nodiscard]] sim::Future<net::Buffer> allreduce_sum(net::Buffer data);
+  [[nodiscard]] sim::Future<std::vector<net::Buffer>> gather(
+      int root, net::Buffer data);
+  // Root distributes chunks[i] to rank i; every rank returns its chunk.
+  [[nodiscard]] sim::Future<net::Buffer> scatter(
+      int root, std::vector<net::Buffer> chunks);
+  // Personalized all-to-all exchange: sends chunks[j] to rank j and
+  // returns the n received chunks indexed by source.
+  [[nodiscard]] sim::Future<std::vector<net::Buffer>> alltoall(
+      std::vector<net::Buffer> chunks);
+
+  // --- Statistics ---------------------------------------------------------------
+  [[nodiscard]] std::uint64_t messages_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t messages_received() const { return received_; }
+  [[nodiscard]] std::uint64_t unexpected_messages() const {
+    return unexpected_count_;
+  }
+  [[nodiscard]] std::uint64_t rendezvous_sends() const { return rndv_; }
+  [[nodiscard]] Transport& transport() { return *transport_; }
+
+ private:
+  struct PostedRecv {
+    int src;
+    int tag;
+    sim::Future<RecvResult> future;
+  };
+
+  struct UnexpectedMsg {
+    int src;
+    Envelope envelope;
+    net::Buffer data;  // eager payload (empty for an RTS)
+  };
+
+  struct PendingRndvSend {
+    int dst;
+    net::Buffer data;
+    sim::Future<bool> future;
+  };
+
+  struct PendingRndvRecv {
+    sim::Future<RecvResult> future;
+    int src;
+    int tag;
+  };
+
+  void on_message(int src, Envelope envelope, net::Buffer data);
+  static bool matches(const PostedRecv& posted, int src, int tag);
+  void complete_recv(sim::Future<RecvResult> future, int src, int tag,
+                     net::Buffer data);
+  void start_rendezvous_receive(int src, const Envelope& rts,
+                                sim::Future<RecvResult> future);
+  void charge_match();
+
+  // Collective bodies (coroutines fulfilling the returned futures).
+  sim::Task barrier_task(sim::Future<bool> done);
+  sim::Task bcast_task(int root, net::Buffer data,
+                       sim::Future<net::Buffer> done);
+  sim::Task bcast_native_root(net::Buffer data,
+                              sim::Future<net::Buffer> done);
+  sim::Task reduce_task(int root, net::Buffer data,
+                        sim::Future<net::Buffer> done);
+  sim::Task allreduce_task(net::Buffer data, sim::Future<net::Buffer> done);
+  sim::Task gather_task(int root, net::Buffer data,
+                        sim::Future<std::vector<net::Buffer>> done);
+  sim::Task scatter_task(int root, std::vector<net::Buffer> chunks,
+                         sim::Future<net::Buffer> done);
+  sim::Task alltoall_task(std::vector<net::Buffer> chunks,
+                          sim::Future<std::vector<net::Buffer>> done);
+
+  Transport* transport_;
+  Config config_;
+  std::deque<PostedRecv> posted_;
+  std::deque<UnexpectedMsg> unexpected_;
+  std::unordered_map<std::uint64_t, PendingRndvSend> rndv_sends_;
+  std::unordered_map<std::uint64_t, PendingRndvRecv> rndv_recvs_;
+  std::uint64_t next_msg_id_ = 1;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t unexpected_count_ = 0;
+  std::uint64_t rndv_ = 0;
+};
+
+}  // namespace clicsim::mpi

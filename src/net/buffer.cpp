@@ -1,0 +1,102 @@
+#include "net/buffer.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "sim/random.hpp"
+
+namespace clicsim::net {
+
+Buffer Buffer::zeros(std::int64_t size) {
+  if (size < 0) throw std::invalid_argument("Buffer::zeros: negative size");
+  return Buffer{nullptr, 0, size};
+}
+
+Buffer Buffer::pattern(std::int64_t size, std::uint64_t seed) {
+  if (size < 0) throw std::invalid_argument("Buffer::pattern: negative size");
+  sim::Rng rng(seed);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  for (auto& b : bytes) {
+    b = static_cast<std::byte>(rng.next() & 0xff);
+  }
+  return Buffer::bytes(std::move(bytes));
+}
+
+Buffer Buffer::bytes(std::vector<std::byte> data) {
+  const auto len = static_cast<std::int64_t>(data.size());
+  auto storage =
+      std::make_shared<const std::vector<std::byte>>(std::move(data));
+  return Buffer{std::move(storage), 0, len};
+}
+
+std::span<const std::byte> Buffer::data() const {
+  if (!storage_) return {};
+  return std::span<const std::byte>(storage_->data() + offset_,
+                                    static_cast<std::size_t>(len_));
+}
+
+Buffer Buffer::slice(std::int64_t offset, std::int64_t length) const {
+  if (offset < 0 || length < 0 || offset + length > len_) {
+    throw std::out_of_range("Buffer::slice: range outside buffer");
+  }
+  return Buffer{storage_, offset_ + offset, length};
+}
+
+std::uint64_t Buffer::checksum() const {
+  if (!storage_) {
+    // Size-derived token so size-only flows still detect length corruption.
+    std::uint64_t x = 0x517cc1b727220a95ULL ^
+                      static_cast<std::uint64_t>(len_);
+    return sim::splitmix64(x);
+  }
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::byte b : data()) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool Buffer::content_equals(const Buffer& other) const {
+  if (len_ != other.len_) return false;
+  if (!has_data() || !other.has_data()) return true;
+  const auto a = data();
+  const auto b = other.data();
+  for (std::int64_t i = 0; i < len_; ++i) {
+    if (a[static_cast<std::size_t>(i)] != b[static_cast<std::size_t>(i)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void BufferChain::append(Buffer b) {
+  total_ += b.size();
+  parts_.push_back(std::move(b));
+}
+
+Buffer BufferChain::flatten() const {
+  bool all_data = !parts_.empty();
+  for (const auto& p : parts_) {
+    if (!p.has_data() && p.size() > 0) {
+      all_data = false;
+      break;
+    }
+  }
+  if (!all_data) return Buffer::zeros(total_);
+
+  std::vector<std::byte> out;
+  out.reserve(static_cast<std::size_t>(total_));
+  for (const auto& p : parts_) {
+    const auto d = p.data();
+    out.insert(out.end(), d.begin(), d.end());
+  }
+  return Buffer::bytes(std::move(out));
+}
+
+void BufferChain::clear() {
+  parts_.clear();
+  total_ = 0;
+}
+
+}  // namespace clicsim::net

@@ -1,0 +1,79 @@
+// Simulated message payloads.
+//
+// A Buffer always knows its size; it optionally carries real bytes.
+// Benchmarks run size-only buffers (copies cost simulated time but move no
+// host memory); integrity tests run patterned buffers whose contents are
+// verified after every fragmentation / reassembly / retransmission path.
+// Slices share the underlying storage (zero host-copy, like sk_buff clones).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace clicsim::net {
+
+class Buffer {
+ public:
+  Buffer() = default;
+
+  // Size-only payload: occupies `size` simulated bytes, carries no data.
+  static Buffer zeros(std::int64_t size);
+
+  // Payload carrying a deterministic byte pattern derived from `seed`.
+  static Buffer pattern(std::int64_t size, std::uint64_t seed);
+
+  // Payload wrapping caller-provided bytes.
+  static Buffer bytes(std::vector<std::byte> data);
+
+  [[nodiscard]] std::int64_t size() const { return len_; }
+  [[nodiscard]] bool empty() const { return len_ == 0; }
+  [[nodiscard]] bool has_data() const { return storage_ != nullptr; }
+
+  // View of the carried bytes; empty span for size-only buffers.
+  [[nodiscard]] std::span<const std::byte> data() const;
+
+  // Sub-range [offset, offset+length); shares storage with *this.
+  [[nodiscard]] Buffer slice(std::int64_t offset, std::int64_t length) const;
+
+  // FNV-1a over contents (or a size-derived token for size-only buffers);
+  // used by integrity tests to verify end-to-end delivery.
+  [[nodiscard]] std::uint64_t checksum() const;
+
+  // True when both buffers have the same size and identical contents
+  // (size-only buffers compare equal to anything of equal size).
+  [[nodiscard]] bool content_equals(const Buffer& other) const;
+
+ private:
+  Buffer(std::shared_ptr<const std::vector<std::byte>> storage,
+         std::int64_t offset, std::int64_t len)
+      : storage_(std::move(storage)), offset_(offset), len_(len) {}
+
+  std::shared_ptr<const std::vector<std::byte>> storage_;
+  std::int64_t offset_ = 0;
+  std::int64_t len_ = 0;
+};
+
+// Accumulates fragments in order and flattens them into one Buffer
+// (reassembly on the receive side of IP fragmentation, CLIC segmentation,
+// TCP streams).
+class BufferChain {
+ public:
+  void append(Buffer b);
+  [[nodiscard]] std::int64_t size() const { return total_; }
+  [[nodiscard]] std::size_t fragments() const { return parts_.size(); }
+
+  // Concatenates all fragments. Data is materialized only when every
+  // fragment carries data; otherwise the result is size-only.
+  [[nodiscard]] Buffer flatten() const;
+
+  void clear();
+
+ private:
+  std::vector<Buffer> parts_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace clicsim::net

@@ -1,0 +1,46 @@
+#include "net/frame.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace clicsim::net {
+
+MacAddr MacAddr::node(std::uint32_t id) {
+  // 02:xx:xx:xx:xx:xx — locally administered, unicast.
+  return MacAddr{{0x02, 0x00,
+                  static_cast<std::uint8_t>(id >> 24),
+                  static_cast<std::uint8_t>(id >> 16),
+                  static_cast<std::uint8_t>(id >> 8),
+                  static_cast<std::uint8_t>(id)}};
+}
+
+MacAddr MacAddr::broadcast() {
+  return MacAddr{{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}};
+}
+
+MacAddr MacAddr::multicast(std::uint32_t id) {
+  return MacAddr{{0x01, 0x00,
+                  static_cast<std::uint8_t>(id >> 24),
+                  static_cast<std::uint8_t>(id >> 16),
+                  static_cast<std::uint8_t>(id >> 8),
+                  static_cast<std::uint8_t>(id)}};
+}
+
+bool MacAddr::is_broadcast() const {
+  return std::all_of(octets.begin(), octets.end(),
+                     [](std::uint8_t o) { return o == 0xff; });
+}
+
+std::string MacAddr::str() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", octets[0],
+                octets[1], octets[2], octets[3], octets[4], octets[5]);
+  return buf;
+}
+
+std::int64_t Frame::frame_bytes() const {
+  const std::int64_t payload = std::max(payload_bytes(), kEthMinPayload);
+  return kEthHeaderBytes + payload + kEthFcsBytes;
+}
+
+}  // namespace clicsim::net

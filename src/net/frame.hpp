@@ -1,0 +1,123 @@
+// Ethernet framing: MAC addresses, ethertypes, frames and the type-erased
+// protocol-header blob that rides on a frame.
+//
+// Protocol headers are modelled structurally (typed C++ structs) rather than
+// as serialized bytes; each header declares the number of on-wire bytes it
+// represents so frame sizes and transmission times stay faithful.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <typeinfo>
+
+#include "net/buffer.hpp"
+
+namespace clicsim::net {
+
+struct MacAddr {
+  std::array<std::uint8_t, 6> octets{};
+
+  // Locally-administered unicast address for cluster node `id`.
+  static MacAddr node(std::uint32_t id);
+  static MacAddr broadcast();
+  // Multicast group address (01:xx:...) for group `id`.
+  static MacAddr multicast(std::uint32_t id);
+
+  [[nodiscard]] bool is_broadcast() const;
+  [[nodiscard]] bool is_multicast() const {
+    return (octets[0] & 0x01) != 0;
+  }
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const MacAddr&, const MacAddr&) = default;
+};
+
+struct MacAddrHash {
+  std::size_t operator()(const MacAddr& m) const {
+    std::size_t h = 1469598103934665603ULL;
+    for (auto o : m.octets) {
+      h ^= o;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+// Ethertypes: IP as standardized; CLIC and GAMMA use experimental values
+// (the real CLIC also registers its own packet type with dev_add_pack).
+inline constexpr std::uint16_t kEtherTypeIp = 0x0800;
+inline constexpr std::uint16_t kEtherTypeClic = 0x88B5;
+inline constexpr std::uint16_t kEtherTypeGamma = 0x88B6;
+
+// Type-erased protocol header carried by a frame (e.g. clic::ClicHeader,
+// tcpip::Ipv4Header). Tracks the on-wire byte count it represents.
+class HeaderBlob {
+ public:
+  HeaderBlob() = default;
+
+  template <typename T>
+  static HeaderBlob of(T header, std::int64_t wire_bytes) {
+    HeaderBlob b;
+    b.ptr_ = std::make_shared<T>(std::move(header));
+    b.type_ = &typeid(T);
+    b.wire_bytes_ = wire_bytes;
+    return b;
+  }
+
+  template <typename T>
+  [[nodiscard]] const T* get() const {
+    if (type_ == nullptr || *type_ != typeid(T)) return nullptr;
+    return static_cast<const T*>(ptr_.get());
+  }
+
+  [[nodiscard]] std::int64_t wire_bytes() const { return wire_bytes_; }
+  [[nodiscard]] bool empty() const { return ptr_ == nullptr; }
+
+ private:
+  std::shared_ptr<const void> ptr_;
+  const std::type_info* type_ = nullptr;
+  std::int64_t wire_bytes_ = 0;
+};
+
+// Ethernet constants (level-1 header, as used by CLIC: 6+6+2 bytes).
+inline constexpr std::int64_t kEthHeaderBytes = 14;
+inline constexpr std::int64_t kEthFcsBytes = 4;
+inline constexpr std::int64_t kEthMinPayload = 46;
+inline constexpr std::int64_t kEthMtuStandard = 1500;
+inline constexpr std::int64_t kEthMtuJumbo = 9000;
+// Preamble + SFD + inter-frame gap, charged per frame on the wire.
+inline constexpr std::int64_t kEthWireOverhead = 20;
+
+struct Frame {
+  MacAddr dst;
+  MacAddr src;
+  std::uint16_t ethertype = 0;
+  HeaderBlob header;  // upper-protocol header riding in the payload area
+  Buffer payload;     // user data portion
+  bool fcs_ok = true; // cleared by corruption injection; receivers drop
+
+  // Bytes inside the Ethernet payload area (upper header + data).
+  [[nodiscard]] std::int64_t payload_bytes() const {
+    return header.wire_bytes() + payload.size();
+  }
+
+  // Frame size from destination MAC through FCS (payload padded to 46).
+  [[nodiscard]] std::int64_t frame_bytes() const;
+
+  // Bytes occupying the wire, including preamble/SFD/IFG.
+  [[nodiscard]] std::int64_t wire_bytes() const {
+    return frame_bytes() + kEthWireOverhead;
+  }
+};
+
+// Anything that accepts delivered frames: a NIC's receive side, a switch
+// port, a monitoring tap.
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+  virtual void frame_arrived(Frame frame) = 0;
+};
+
+}  // namespace clicsim::net

@@ -1,0 +1,78 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace clicsim::net {
+
+FaultInjector::Verdict FaultInjector::judge() {
+  const std::uint64_t index = count_++;
+  if (drop_list_.erase(index) > 0) {
+    ++dropped_;
+    return Verdict::kDrop;
+  }
+  if (drop_prob_ > 0.0 && rng_.bernoulli(drop_prob_)) {
+    ++dropped_;
+    return Verdict::kDrop;
+  }
+  if (corrupt_prob_ > 0.0 && rng_.bernoulli(corrupt_prob_)) {
+    ++corrupted_;
+    return Verdict::kCorrupt;
+  }
+  return Verdict::kDeliver;
+}
+
+Link::Link(sim::Simulator& sim, LinkParams params, std::string name)
+    : sim_(&sim),
+      params_(params),
+      name_(std::move(name)),
+      directions_{Direction(sim, name_ + ".d0"), Direction(sim, name_ + ".d1")} {}
+
+int Link::check_end(int end) {
+  if (end != 0 && end != 1) throw std::invalid_argument("Link: end must be 0/1");
+  return end;
+}
+
+void Link::attach(int end, FrameSink* sink) { sinks_[check_end(end)] = sink; }
+
+void Link::send(int end, Frame frame, std::function<void()> on_serialized,
+                sim::SimTime delivery_credit) {
+  check_end(end);
+  Direction& dir = directions_[end];
+  FrameSink* dest = sinks_[1 - end];
+
+  ++dir.frames;
+  dir.bytes += frame.frame_bytes();
+
+  // A dropped frame still occupies the wire for its transmission time; it
+  // just never reaches the far end. Corrupted frames arrive with a bad FCS
+  // and are discarded by the receiving NIC.
+  bool deliver = true;
+  switch (dir.faults.judge()) {
+    case FaultInjector::Verdict::kDrop:
+      deliver = false;
+      break;
+    case FaultInjector::Verdict::kCorrupt:
+      frame.fcs_ok = false;
+      break;
+    case FaultInjector::Verdict::kDeliver:
+      break;
+  }
+
+  const sim::SimTime tx_time =
+      sim::transmission_time(frame.wire_bytes(), params_.bits_per_s);
+
+  const sim::SimTime serialized = dir.wire.submit(
+      tx_time, std::move(on_serialized));
+  if (!deliver || dest == nullptr) return;
+
+  const sim::SimTime floor = sim_->now() + sim::nanoseconds(500);
+  const sim::SimTime arrive =
+      std::max(floor, serialized - delivery_credit) + params_.propagation;
+  sim_->at(arrive, [dest, frame = std::move(frame)]() mutable {
+    dest->frame_arrived(std::move(frame));
+  });
+}
+
+}  // namespace clicsim::net

@@ -1,0 +1,118 @@
+// Full-duplex point-to-point Ethernet link.
+//
+// Each direction serializes frames at line rate (including preamble/IFG),
+// then delivers to the far-end FrameSink after the propagation delay.
+// A per-direction FaultInjector supports probabilistic drop/corruption and
+// deterministic drop lists (nth-frame) for reproducible loss tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+
+#include "net/frame.hpp"
+#include "sim/random.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace clicsim::net {
+
+struct LinkParams {
+  double bits_per_s = 1e9;                    // Gigabit Ethernet
+  sim::SimTime propagation = sim::nanoseconds(150);  // ~30 m of copper
+};
+
+class FaultInjector {
+ public:
+  enum class Verdict { kDeliver, kDrop, kCorrupt };
+
+  explicit FaultInjector(std::uint64_t seed = 1) : rng_(seed, "link-fault") {}
+
+  void set_drop_probability(double p) { drop_prob_ = p; }
+  void set_corrupt_probability(double p) { corrupt_prob_ = p; }
+  void set_seed(std::uint64_t seed) { rng_ = sim::Rng(seed, "link-fault"); }
+
+  // Drop exactly the frame with this 0-based send index (repeatable tests).
+  void drop_frame_index(std::uint64_t index) { drop_list_.insert(index); }
+
+  Verdict judge();
+
+  [[nodiscard]] std::uint64_t seen() const { return count_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t corrupted() const { return corrupted_; }
+
+ private:
+  double drop_prob_ = 0.0;
+  double corrupt_prob_ = 0.0;
+  sim::Rng rng_;
+  std::set<std::uint64_t> drop_list_;
+  std::uint64_t count_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t corrupted_ = 0;
+};
+
+class Link {
+ public:
+  Link(sim::Simulator& sim, LinkParams params, std::string name);
+
+  // Attaches the receiver for frames arriving at `end` (0 or 1).
+  void attach(int end, FrameSink* sink);
+
+  // The sink currently attached at `end` (taps interpose through this).
+  [[nodiscard]] FrameSink* sink(int end) const {
+    return sinks_[check_end(end)];
+  }
+
+  // Transmits `frame` from `end` toward the other end. `on_serialized`
+  // (optional) fires when the frame has left the sender (used by the switch
+  // to bound its output queues).
+  //
+  // `delivery_credit` models cut-through forwarding: the wire stays
+  // occupied for the full serialization time, but delivery to the far end
+  // is advanced by up to the credit (never before the send could have
+  // started).
+  void send(int end, Frame frame, std::function<void()> on_serialized = {},
+            sim::SimTime delivery_credit = 0);
+
+  // Serialization time of `frame` at this link's line rate.
+  [[nodiscard]] sim::SimTime transmission_time(const Frame& frame) const {
+    return sim::transmission_time(frame.wire_bytes(), params_.bits_per_s);
+  }
+
+  [[nodiscard]] FaultInjector& faults(int from_end) {
+    return directions_[check_end(from_end)].faults;
+  }
+
+  [[nodiscard]] std::uint64_t frames_sent(int from_end) const {
+    return directions_[from_end].frames;
+  }
+  [[nodiscard]] std::int64_t bytes_sent(int from_end) const {
+    return directions_[from_end].bytes;
+  }
+  [[nodiscard]] double utilization(int from_end) const {
+    return directions_[from_end].wire.utilization();
+  }
+  [[nodiscard]] const LinkParams& params() const { return params_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  static int check_end(int end);
+
+  struct Direction {
+    Direction(sim::Simulator& sim, const std::string& name)
+        : wire(sim, name), faults() {}
+    sim::FifoResource wire;   // serialization at line rate
+    FaultInjector faults;
+    std::uint64_t frames = 0;
+    std::int64_t bytes = 0;
+  };
+
+  sim::Simulator* sim_;
+  LinkParams params_;
+  std::string name_;
+  Direction directions_[2];
+  FrameSink* sinks_[2] = {nullptr, nullptr};
+};
+
+}  // namespace clicsim::net

@@ -1,0 +1,61 @@
+// Packet capture: a Tap interposes on a link endpoint and records every
+// frame delivered there (with its arrival time) before forwarding to the
+// original sink — tcpdump for the simulated wire. Decoding of protocol
+// headers lives in apps/trace.hpp (the only layer that knows every stack).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace clicsim::net {
+
+class Tap : public FrameSink {
+ public:
+  struct Record {
+    sim::SimTime time;
+    Frame frame;
+  };
+
+  Tap(sim::Simulator& sim, std::string name)
+      : sim_(&sim), name_(std::move(name)) {}
+
+  // Interposes this tap at `end` of `link`: recorded frames are forwarded
+  // to whatever sink was attached there.
+  void insert(Link& link, int end) {
+    inner_ = link.sink(end);
+    link.attach(end, this);
+  }
+
+  // Caps memory for long runs; 0 keeps everything.
+  void set_limit(std::size_t max_records) { limit_ = max_records; }
+
+  void frame_arrived(Frame frame) override {
+    ++seen_;
+    if (limit_ == 0 || records_.size() < limit_) {
+      records_.push_back(Record{sim_->now(), frame});
+    }
+    if (inner_ != nullptr) inner_->frame_arrived(std::move(frame));
+  }
+
+  [[nodiscard]] const std::vector<Record>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t frames_seen() const { return seen_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void clear() { records_.clear(); }
+
+ private:
+  sim::Simulator* sim_;
+  std::string name_;
+  FrameSink* inner_ = nullptr;
+  std::vector<Record> records_;
+  std::size_t limit_ = 0;
+  std::uint64_t seen_ = 0;
+};
+
+}  // namespace clicsim::net

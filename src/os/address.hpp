@@ -1,0 +1,62 @@
+// Static cluster address map: node id <-> MAC addresses.
+//
+// CLIC's single-LAN assumption (no IP, no routing) makes the address table
+// static configuration, distributed out of band — exactly what clusters of
+// the period did. Nodes with several NICs list one MAC per card (channel
+// bonding picks among them).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "os/cluster.hpp"
+
+namespace clicsim::os {
+
+class AddressMap {
+ public:
+  void add(int node, net::MacAddr mac) {
+    macs_[node].push_back(mac);
+    nodes_[mac] = node;
+  }
+
+  [[nodiscard]] int node_of(const net::MacAddr& mac) const {
+    auto it = nodes_.find(mac);
+    if (it == nodes_.end()) {
+      throw std::out_of_range("AddressMap: unknown MAC " + mac.str());
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] bool knows(const net::MacAddr& mac) const {
+    return nodes_.count(mac) > 0;
+  }
+
+  [[nodiscard]] const std::vector<net::MacAddr>& macs_of(int node) const {
+    auto it = macs_.find(node);
+    if (it == macs_.end()) {
+      throw std::out_of_range("AddressMap: unknown node");
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] static AddressMap for_cluster(Cluster& cluster) {
+    AddressMap map;
+    for (int i = 0; i < cluster.size(); ++i) {
+      auto& node = cluster.node(i);
+      for (int j = 0; j < node.nic_count(); ++j) {
+        map.add(i, node.mac(j));
+      }
+    }
+    return map;
+  }
+
+ private:
+  std::unordered_map<int, std::vector<net::MacAddr>> macs_;
+  std::unordered_map<net::MacAddr, int, net::MacAddrHash> nodes_;
+};
+
+}  // namespace clicsim::os

@@ -1,0 +1,47 @@
+#include "os/cluster.hpp"
+
+#include <string>
+#include <utility>
+
+namespace clicsim::os {
+
+Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
+    : sim_(&sim), config_(std::move(config)) {
+  const int ports = config_.nodes * config_.nics_per_node;
+  switch_ = std::make_unique<net::Switch>(sim, ports, config_.sw, "switch0");
+
+  for (int i = 0; i < config_.nodes; ++i) {
+    auto node = std::make_unique<Node>(sim, i, config_.host, config_.pci,
+                                       "node" + std::to_string(i));
+    for (int j = 0; j < config_.nics_per_node; ++j) {
+      node->add_nic(config_.nic, mac_of(i, j));
+
+      const int port = i * config_.nics_per_node + j;
+      auto link = std::make_unique<net::Link>(
+          sim, config_.link,
+          "link.n" + std::to_string(i) + ".e" + std::to_string(j));
+      node->nic(j).attach_link(*link, 0);
+      switch_->connect(port, *link, 1);
+      // Boot-time gratuitous learning: every NIC announces itself.
+      switch_->learn(mac_of(i, j), port);
+      links_.push_back(std::move(link));
+    }
+    nodes_.push_back(std::move(node));
+  }
+}
+
+void Cluster::set_mtu_all(std::int64_t mtu) {
+  for (auto& n : nodes_) {
+    for (int j = 0; j < n->nic_count(); ++j) n->nic(j).set_mtu(mtu);
+  }
+}
+
+void Cluster::set_coalescing_all(sim::SimTime usecs, int frames) {
+  for (auto& n : nodes_) {
+    for (int j = 0; j < n->nic_count(); ++j) {
+      n->nic(j).set_coalescing(usecs, frames);
+    }
+  }
+}
+
+}  // namespace clicsim::os

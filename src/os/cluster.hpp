@@ -1,0 +1,63 @@
+// Topology builder: N nodes star-wired to one Ethernet switch.
+//
+// Every NIC j of node i connects to switch port i*nics_per_node + j. MAC
+// addresses encode (node, nic) so protocol address tables are static — the
+// single-LAN cluster assumption under which CLIC drops the IP layer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hw/params.hpp"
+#include "net/link.hpp"
+#include "net/switch.hpp"
+#include "os/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace clicsim::os {
+
+struct ClusterConfig {
+  int nodes = 2;
+  int nics_per_node = 1;
+  hw::HostParams host;
+  hw::PciParams pci;
+  hw::NicProfile nic = hw::NicProfile::smc9462();
+  net::LinkParams link;
+  net::SwitchParams sw;
+};
+
+class Cluster {
+ public:
+  Cluster(sim::Simulator& sim, ClusterConfig config);
+
+  [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] Node& node(int i) { return *nodes_.at(i); }
+  [[nodiscard]] net::Switch& ethernet_switch() { return *switch_; }
+  [[nodiscard]] net::Link& link(int node, int nic = 0) {
+    return *links_.at(static_cast<std::size_t>(
+        node * config_.nics_per_node + nic));
+  }
+  [[nodiscard]] const ClusterConfig& config() const { return config_; }
+
+  [[nodiscard]] static net::MacAddr mac_of(int node, int nic = 0) {
+    return net::MacAddr::node(
+        static_cast<std::uint32_t>(node) << 8 |
+        static_cast<std::uint32_t>(nic));
+  }
+
+  // Sets the MTU on every NIC in the cluster (jumbo on/off sweeps).
+  void set_mtu_all(std::int64_t mtu);
+
+  // Adjusts interrupt coalescing on every NIC.
+  void set_coalescing_all(sim::SimTime usecs, int frames);
+
+ private:
+  sim::Simulator* sim_;
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<net::Link>> links_;
+  std::unique_ptr<net::Switch> switch_;
+};
+
+}  // namespace clicsim::os

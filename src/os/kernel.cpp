@@ -1,0 +1,70 @@
+#include "os/kernel.hpp"
+
+#include <utility>
+
+namespace clicsim::os {
+
+void Kernel::queue_bottom_half(std::function<void()> fn) {
+  bh_queue_.push_back(std::move(fn));
+  if (!bh_scheduled_) {
+    bh_scheduled_ = true;
+    cpu_->run(sim::CpuPriority::kSoftirq,
+              cpu_->params().bottom_half_dispatch, [this] {
+                run_bottom_halves();
+              });
+  }
+}
+
+void Kernel::run_bottom_halves() {
+  if (bh_queue_.empty()) {
+    bh_scheduled_ = false;
+    return;
+  }
+  auto fn = std::move(bh_queue_.front());
+  bh_queue_.pop_front();
+  ++bh_run_;
+  fn();
+  // Chain the next item through the CPU so softirq work stays serialized
+  // behind whatever processing `fn` charged.
+  cpu_->run(sim::CpuPriority::kSoftirq, 0, [this] { run_bottom_halves(); });
+}
+
+Kernel::TimerId Kernel::add_timer(sim::SimTime delay,
+                                  std::function<void()> fn) {
+  const TimerId id = next_timer_++;
+  sim_->after(delay, [this, id, fn = std::move(fn)] {
+    if (cancelled_.erase(id) > 0) return;
+    fn();
+  });
+  return id;
+}
+
+void Kernel::cancel_timer(TimerId id) { cancelled_.insert(id); }
+
+void Kernel::syscall(std::function<void()> body) {
+  ++syscalls_;
+  cpu_->run(sim::CpuPriority::kKernel, cpu_->params().syscall_enter,
+            std::move(body));
+}
+
+void Kernel::syscall_return(std::function<void()> back_in_user) {
+  cpu_->run(sim::CpuPriority::kKernel, cpu_->params().syscall_exit,
+            std::move(back_in_user));
+}
+
+void Kernel::light_syscall(std::function<void()> body) {
+  ++syscalls_;
+  // GAMMA-style: roughly a third of the full trap cost, no scheduler pass.
+  cpu_->run(sim::CpuPriority::kKernel, cpu_->params().syscall_enter / 3,
+            std::move(body));
+}
+
+void WaitQueue::wake_all() {
+  if (trigger_.waiter_count() == 0) return;
+  cpu_->run(sim::CpuPriority::kKernel, cpu_->params().process_wakeup, [this] {
+    cpu_->run(sim::CpuPriority::kUser, cpu_->params().context_switch,
+              [this] { trigger_.fire(); });
+  });
+}
+
+}  // namespace clicsim::os

@@ -1,0 +1,87 @@
+// Per-node kernel services: bottom halves (softirqs), kernel timers,
+// system-call cost accounting and process wait queues.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_set>
+
+#include "hw/cpu.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace clicsim::os {
+
+class Kernel {
+ public:
+  Kernel(sim::Simulator& sim, hw::Cpu& cpu) : sim_(&sim), cpu_(&cpu) {}
+
+  // --- Bottom halves -------------------------------------------------------
+  // Queues `fn` to run in softirq context: after the ISR completes, the
+  // kernel pays the dispatch cost at softirq priority and invokes `fn`
+  // (which charges its own processing time at softirq priority).
+  void queue_bottom_half(std::function<void()> fn);
+
+  [[nodiscard]] std::uint64_t bottom_halves_run() const { return bh_run_; }
+
+  // --- Timers ---------------------------------------------------------------
+  using TimerId = std::uint64_t;
+  TimerId add_timer(sim::SimTime delay, std::function<void()> fn);
+  void cancel_timer(TimerId id);
+
+  // --- System calls ----------------------------------------------------------
+  // Charges the kernel-entry cost (INT 80h path) at kernel priority, then
+  // runs `body` in kernel context. The matching exit cost is charged by
+  // syscall_return.
+  void syscall(std::function<void()> body);
+  void syscall_return(std::function<void()> back_in_user = {});
+
+  // Lightweight system call (GAMMA-style): reduced entry cost and no
+  // scheduler involvement on return.
+  void light_syscall(std::function<void()> body);
+
+  [[nodiscard]] std::uint64_t syscalls() const { return syscalls_; }
+
+  [[nodiscard]] hw::Cpu& cpu() { return *cpu_; }
+  [[nodiscard]] sim::Simulator& sim() { return *sim_; }
+
+ private:
+  void run_bottom_halves();
+
+  sim::Simulator* sim_;
+  hw::Cpu* cpu_;
+  std::deque<std::function<void()>> bh_queue_;
+  bool bh_scheduled_ = false;
+  std::uint64_t bh_run_ = 0;
+  std::uint64_t next_timer_ = 1;
+  std::unordered_set<TimerId> cancelled_;
+  std::uint64_t syscalls_ = 0;
+};
+
+// A queue of blocked simulated processes. Waking charges the wakeup cost in
+// kernel context plus a context switch before the woken coroutine resumes —
+// the scheduler mediation CLIC deliberately keeps (section 3.2(a)).
+class WaitQueue {
+ public:
+  WaitQueue(sim::Simulator& sim, hw::Cpu& cpu)
+      : sim_(&sim), cpu_(&cpu), trigger_(sim) {}
+
+  // co_await sleep(): parks the calling coroutine until woken.
+  [[nodiscard]] sim::Trigger::Awaiter sleep() { return trigger_.wait(); }
+
+  // Wakes every sleeper: wakeup cost at kernel priority, then a context
+  // switch, then the coroutines resume.
+  void wake_all();
+
+  [[nodiscard]] std::size_t sleepers() const {
+    return trigger_.waiter_count();
+  }
+
+ private:
+  sim::Simulator* sim_;
+  hw::Cpu* cpu_;
+  sim::Trigger trigger_;
+};
+
+}  // namespace clicsim::os

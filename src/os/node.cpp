@@ -1,0 +1,54 @@
+#include "os/node.hpp"
+
+#include <utility>
+
+namespace clicsim::os {
+
+Node::Node(sim::Simulator& sim, int id, hw::HostParams host,
+           hw::PciParams pci, std::string name)
+    : sim_(&sim),
+      id_(id),
+      name_(std::move(name)),
+      cpu_(sim, host, name_ + ".cpu"),
+      mem_(sim, host, name_ + ".mem"),
+      pci_(sim, pci, name_ + ".pci"),
+      intc_(sim, cpu_),
+      kernel_(sim, cpu_) {}
+
+namespace {
+// Copy chunk granularity: ~46 us of CPU at the default copy rate, short
+// enough that interrupt work never waits long behind a copy.
+constexpr std::int64_t kCopyChunkBytes = 16 * 1024;
+}  // namespace
+
+void Node::copy_data(sim::CpuPriority prio, std::int64_t bytes,
+                     std::function<void()> done) {
+  const std::int64_t chunk = std::min(bytes, kCopyChunkBytes);
+  if (bytes <= 0) {
+    cpu_.run(prio, 0, std::move(done));
+    return;
+  }
+  mem_.copy_pressure(chunk);
+  cpu_.run(prio, cpu_.copy_cost(chunk),
+           [this, prio, rest = bytes - chunk, done = std::move(done)]() mutable {
+             if (rest > 0) {
+               copy_data(prio, rest, std::move(done));
+             } else if (done) {
+               done();
+             }
+           });
+}
+
+int Node::add_nic(hw::NicProfile profile, net::MacAddr mac) {
+  const int index = nic_count();
+  const int irq = 9 + index;  // PCI INTA.. lines, one per card
+  auto nic = std::make_unique<hw::Nic>(*sim_, std::move(profile), pci_, mem_,
+                                       intc_, irq, mac,
+                                       name_ + ".eth" + std::to_string(index));
+  auto driver = std::make_unique<Driver>(*sim_, kernel_, *nic, intc_);
+  nics_.push_back(std::move(nic));
+  drivers_.push_back(std::move(driver));
+  return index;
+}
+
+}  // namespace clicsim::os

@@ -1,0 +1,42 @@
+// The socket-buffer equivalent: the structure drivers consume on transmit.
+//
+// Mirrors the property of Linux SK_BUFFs the paper relies on: a fragmented
+// send — pointers to headers plus non-contiguous data — so CLIC can hand the
+// driver a descriptor that references user memory directly (0-copy) instead
+// of first copying into system memory.
+#pragma once
+
+#include <cstdint>
+
+#include "net/buffer.hpp"
+#include "net/frame.hpp"
+
+namespace clicsim::os {
+
+struct SkBuff {
+  net::MacAddr dst;
+  net::MacAddr src;
+  std::uint16_t ethertype = 0;
+  net::HeaderBlob header;   // upper-protocol header (CLIC / IP+TCP / ...)
+  net::Buffer payload;      // data; may reference user memory (0-copy)
+
+  // Scatter/gather elements the DMA descriptor describes (header block +
+  // each non-contiguous data piece). 1 means contiguous kernel memory.
+  int sg_fragments = 1;
+
+  // True while `payload` references user pages rather than kernel memory
+  // (requires a scatter/gather capable NIC to transmit directly).
+  bool references_user_memory = false;
+
+  [[nodiscard]] net::Frame to_frame() const {
+    net::Frame f;
+    f.dst = dst;
+    f.src = src;
+    f.ethertype = ethertype;
+    f.header = header;
+    f.payload = payload;
+    return f;
+  }
+};
+
+}  // namespace clicsim::os

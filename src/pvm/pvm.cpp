@@ -1,0 +1,109 @@
+#include "pvm/pvm.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace clicsim::pvm {
+
+PvmTask::PvmTask(mpi::TcpTransport& transport, Config config)
+    : comm_(transport, mpi::Config{
+                           // PVM fragments large messages itself but has no
+                           // rendezvous mode; everything ships eagerly.
+                           .eager_threshold = INT64_MAX,
+                           .match_cost = sim::nanoseconds(800),
+                           .reduce_ns_per_byte = 1.0,
+                       }),
+      config_(config) {}
+
+void PvmTask::initsend() { send_buffer_.clear(); }
+
+sim::Future<bool> PvmTask::pack(net::Buffer data) {
+  sim::Future<bool> done(comm_.transport().sim());
+  auto& node = comm_.transport().node();
+  const std::int64_t bytes = data.size();
+  send_buffer_.append(std::move(data));
+  node.cpu().run(sim::CpuPriority::kUser, config_.pack_overhead);
+  // The defining PVM cost: data is copied into the pack buffer.
+  node.copy_data(sim::CpuPriority::kUser, bytes,
+                 [done]() mutable { done.set(true); });
+  return done;
+}
+
+sim::Future<bool> PvmTask::send(int dst_tid, int tag) {
+  sim::Future<bool> done(comm_.transport().sim());
+  net::Buffer payload = send_buffer_.flatten();
+  send_buffer_.clear();
+  send_task(dst_tid, tag, std::move(payload), done);
+  return done;
+}
+
+sim::Task PvmTask::send_task(int dst_tid, int tag, net::Buffer payload,
+                             sim::Future<bool> done) {
+  ++sent_;
+  auto& node = comm_.transport().node();
+  node.cpu().run(sim::CpuPriority::kUser, config_.send_overhead);
+
+  if (!config_.direct_route) {
+    // Default route: the message first hops through the local pvmd (a
+    // separate process: context switch + a copy into the daemon), and the
+    // remote pvmd relays it to the destination task. The hops are charged
+    // as latency plus copy pressure at the sender; the receiving side's
+    // daemon copy is charged in recv_task.
+    sim::Future<bool> staged(comm_.transport().sim());
+    node.copy_data(sim::CpuPriority::kUser, payload.size(),
+                   [staged]() mutable { staged.set(true); });
+    (void)co_await staged;
+    co_await sim::Delay{comm_.transport().sim(), config_.daemon_latency};
+  }
+
+  (void)co_await comm_.send(dst_tid, tag, std::move(payload));
+  done.set(true);
+}
+
+sim::Future<PvmMessage> PvmTask::recv(int src_tid, int tag) {
+  sim::Future<PvmMessage> done(comm_.transport().sim());
+  recv_task(src_tid, tag, done);
+  return done;
+}
+
+sim::Task PvmTask::recv_task(int src_tid, int tag,
+                             sim::Future<PvmMessage> done) {
+  mpi::RecvResult r = co_await comm_.recv(
+      src_tid < 0 ? mpi::kAnySource : src_tid,
+      tag < 0 ? mpi::kAnyTag : tag);
+  ++received_;
+
+  if (!config_.direct_route) {
+    // Remote pvmd relay: one more hop and copy before the task sees it.
+    auto& node = comm_.transport().node();
+    sim::Future<bool> relayed(comm_.transport().sim());
+    node.copy_data(sim::CpuPriority::kUser, r.data.size(),
+                   [relayed]() mutable { relayed.set(true); });
+    (void)co_await relayed;
+    co_await sim::Delay{comm_.transport().sim(), config_.daemon_latency};
+  }
+
+  PvmMessage m;
+  m.src_tid = r.src;
+  m.tag = r.tag;
+  m.data = std::move(r.data);
+  done.set(std::move(m));
+}
+
+sim::Future<net::Buffer> PvmTask::unpack(PvmMessage& message,
+                                         std::int64_t bytes) {
+  sim::Future<net::Buffer> done(comm_.transport().sim());
+  auto& node = comm_.transport().node();
+  node.cpu().run(sim::CpuPriority::kUser, config_.unpack_overhead);
+  const std::int64_t take = std::min(bytes, message.data.size());
+  net::Buffer out = take > 0 ? message.data.slice(0, take)
+                             : net::Buffer::zeros(0);
+  message.data = message.data.slice(take, message.data.size() - take);
+  node.copy_data(sim::CpuPriority::kUser, take,
+                 [done, out = std::move(out)]() mutable {
+                   done.set(std::move(out));
+                 });
+  return done;
+}
+
+}  // namespace clicsim::pvm

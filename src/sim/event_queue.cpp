@@ -1,0 +1,25 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace clicsim::sim {
+
+void EventQueue::push(SimTime t, Action action) {
+  heap_.push(Entry{t, next_seq_++, std::move(action)});
+}
+
+SimTime EventQueue::next_time() const {
+  return heap_.empty() ? kNever : heap_.top().time;
+}
+
+EventQueue::Event EventQueue::pop() {
+  // std::priority_queue::top() is const; the action must be moved out, so we
+  // cast away constness of the popped entry. The entry is removed right
+  // after, so no observer can see the moved-from state.
+  auto& top = const_cast<Entry&>(heap_.top());
+  Event ev{top.time, std::move(top.action)};
+  heap_.pop();
+  return ev;
+}
+
+}  // namespace clicsim::sim

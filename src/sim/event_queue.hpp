@@ -1,0 +1,57 @@
+// Deterministic time-ordered event queue.
+//
+// Events scheduled for the same instant execute in insertion order (a
+// monotonically increasing sequence number breaks ties), which makes every
+// simulation run bit-reproducible for a given seed and parameter set.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace clicsim::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  // Schedules `action` at absolute time `t`.
+  void push(SimTime t, Action action);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  // Time of the earliest pending event; kNever when empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  // Removes and returns the earliest event. Precondition: !empty().
+  struct Event {
+    SimTime time;
+    Action action;
+  };
+  Event pop();
+
+  // Total events ever pushed (for engine micro-benchmarks / diagnostics).
+  [[nodiscard]] std::uint64_t pushed() const { return next_seq_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace clicsim::sim

@@ -1,0 +1,44 @@
+#include "sim/log.hpp"
+
+#include <cstdio>
+#include <iomanip>
+
+namespace clicsim::sim {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+LogLine::LogLine(const Simulator& sim, LogLevel level,
+                 std::string_view component) {
+  stream_ << '[' << std::setw(12) << sim.now() << "ns] "
+          << log_level_name(level) << ' ' << component << ": ";
+}
+
+LogLine::~LogLine() {
+  stream_ << '\n';
+  std::fputs(stream_.str().c_str(), stderr);
+}
+
+}  // namespace clicsim::sim

@@ -1,0 +1,76 @@
+#include "sim/resource.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace clicsim::sim {
+
+SimTime FifoResource::submit(SimTime duration, std::function<void()> done) {
+  if (duration < 0) {
+    throw std::logic_error("FifoResource::submit: negative duration");
+  }
+  const SimTime start = std::max(sim_->now(), free_at_);
+  free_at_ = start + duration;
+  busy_ns_ += duration;
+  ++uses_;
+  if (done) sim_->at(free_at_, std::move(done));
+  return free_at_;
+}
+
+double FifoResource::utilization() const {
+  const SimTime elapsed = sim_->now();
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(std::min(busy_ns_, elapsed)) /
+         static_cast<double>(elapsed);
+}
+
+void PriorityResource::submit(CpuPriority prio, SimTime duration,
+                              std::function<void()> done) {
+  if (duration < 0) {
+    throw std::logic_error("PriorityResource::submit: negative duration");
+  }
+  queue_.push(Item{static_cast<int>(prio), next_seq_++, duration,
+                   std::move(done)});
+  if (!busy_) start_next();
+}
+
+void PriorityResource::submit_front(CpuPriority prio, SimTime duration,
+                                    std::function<void()> done) {
+  if (duration < 0) {
+    throw std::logic_error("PriorityResource::submit_front: negative duration");
+  }
+  queue_.push(Item{static_cast<int>(prio), front_seq_--, duration,
+                   std::move(done)});
+  if (!busy_) start_next();
+}
+
+void PriorityResource::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  // Move the item out of the const top (removed immediately after).
+  auto& top = const_cast<Item&>(queue_.top());
+  Item item{top.prio, top.seq, top.duration, std::move(top.done)};
+  queue_.pop();
+
+  total_busy_ns_ += item.duration;
+  busy_ns_[item.prio] += item.duration;
+
+  sim_->after(item.duration,
+              [this, done = std::move(item.done)]() mutable {
+                if (done) done();
+                start_next();
+              });
+}
+
+double PriorityResource::utilization() const {
+  const SimTime elapsed = sim_->now();
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(std::min(total_busy_ns_, elapsed)) /
+         static_cast<double>(elapsed);
+}
+
+}  // namespace clicsim::sim

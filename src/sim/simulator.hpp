@@ -1,0 +1,55 @@
+// The discrete-event simulator: owns the clock and the event queue.
+//
+// A Simulator instance is single-threaded and deterministic. Independent
+// simulations (e.g. the points of a parameter sweep) may run concurrently on
+// different threads as long as each owns its Simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace clicsim::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  // Schedules `action` at absolute simulated time `t` (>= now()).
+  void at(SimTime t, std::function<void()> action);
+
+  // Schedules `action` `delay` ns from now (delay >= 0).
+  void after(SimTime delay, std::function<void()> action) {
+    at(now_ + delay, std::move(action));
+  }
+
+  // Runs until the event queue drains or stop() is called.
+  // Returns the number of events executed.
+  std::uint64_t run();
+
+  // Runs events with time <= `t`; afterwards now() == t unless stopped
+  // earlier or the queue drained past t.
+  std::uint64_t run_until(SimTime t);
+
+  std::uint64_t run_for(SimTime d) { return run_until(now_ + d); }
+
+  // Makes run()/run_until() return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] bool pending() const { return !queue_.empty(); }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  bool stopped_ = false;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace clicsim::sim

@@ -1,0 +1,111 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+namespace clicsim::sim {
+
+void Summary::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Summary::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+void Histogram::add(std::int64_t value) {
+  int b = 0;
+  if (value > 0) {
+    b = 63 - std::countl_zero(static_cast<std::uint64_t>(value));
+  }
+  b = std::clamp(b, 0, kBuckets - 1);
+  ++buckets_[b];
+  ++total_;
+}
+
+std::int64_t Histogram::quantile_bound(double q) const {
+  if (total_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  std::uint64_t acc = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    acc += buckets_[i];
+    if (acc >= target) {
+      return i >= 62 ? INT64_MAX : (std::int64_t{1} << (i + 1)) - 1;
+    }
+  }
+  return INT64_MAX;
+}
+
+void Histogram::print(std::ostream& os, const std::string& label) const {
+  os << label << " (n=" << total_ << ")\n";
+  if (total_ == 0) return;
+  std::uint64_t maxb = 0;
+  for (auto b : buckets_) maxb = std::max(maxb, b);
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const auto lo = std::int64_t{1} << i;
+    const int bar = static_cast<int>(
+        50.0 * static_cast<double>(buckets_[i]) / static_cast<double>(maxb));
+    os << std::setw(14) << lo << " | " << std::string(bar, '#') << ' '
+       << buckets_[i] << '\n';
+  }
+}
+
+double Series::at(double x) const {
+  if (points_.empty()) return 0.0;
+  if (x <= points_.front().x) return points_.front().y;
+  if (x >= points_.back().x) return points_.back().y;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].x >= x) {
+      const auto& a = points_[i - 1];
+      const auto& b = points_[i];
+      const double t = (x - a.x) / (b.x - a.x);
+      return a.y + t * (b.y - a.y);
+    }
+  }
+  return points_.back().y;
+}
+
+double Series::first_x_reaching(double level) const {
+  for (const auto& p : points_) {
+    if (p.y >= level) return p.x;
+  }
+  return std::nan("");
+}
+
+double Series::max_y() const {
+  double m = 0.0;
+  for (const auto& p : points_) m = std::max(m, p.y);
+  return m;
+}
+
+void print_series_table(std::ostream& os, const std::string& x_label,
+                        const std::vector<const Series*>& series) {
+  os << std::setw(12) << x_label;
+  for (const auto* s : series) os << std::setw(16) << s->name();
+  os << '\n';
+  if (series.empty()) return;
+  const auto& grid = series.front()->points();
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    os << std::setw(12) << static_cast<std::int64_t>(grid[i].x);
+    for (const auto* s : series) {
+      os << std::setw(16) << std::fixed << std::setprecision(1)
+         << (i < s->points().size() ? s->points()[i].y : 0.0);
+    }
+    os << '\n';
+  }
+  os.unsetf(std::ios::fixed);
+}
+
+}  // namespace clicsim::sim

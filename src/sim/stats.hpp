@@ -1,0 +1,99 @@
+// Lightweight measurement primitives used throughout the models and the
+// benchmark harness: counters, running summaries, log2-bucketed histograms
+// and (x, y) series for figure reproduction.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace clicsim::sim {
+
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::int64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+// Running min/max/mean/stddev (Welford).
+class Summary {
+ public:
+  void add(double x);
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  void reset() { *this = Summary{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Histogram over power-of-two buckets: bucket i counts values in
+// [2^i, 2^(i+1)). Values < 1 land in bucket 0. Intended for latency (ns)
+// and size distributions where relative resolution suffices.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void add(std::int64_t value);
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  [[nodiscard]] std::uint64_t bucket(int i) const { return buckets_[i]; }
+
+  // Upper bound of the bucket containing quantile q (0 < q <= 1);
+  // 0 when empty. Coarse (power-of-two) by construction.
+  [[nodiscard]] std::int64_t quantile_bound(double q) const;
+
+  void print(std::ostream& os, const std::string& label) const;
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+};
+
+// Ordered (x, y) samples; used by benches to emit figure series.
+class Series {
+ public:
+  explicit Series(std::string name) : name_(std::move(name)) {}
+
+  void add(double x, double y) { points_.push_back({x, y}); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  struct Point {
+    double x;
+    double y;
+  };
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+
+  // Linear interpolation of y at x (clamped to the sampled range);
+  // requires points sorted by x.
+  [[nodiscard]] double at(double x) const;
+
+  // Smallest sampled x whose y reaches `level`; NaN when never reached.
+  [[nodiscard]] double first_x_reaching(double level) const;
+
+  [[nodiscard]] double max_y() const;
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+// Prints a fixed-width table of several series sharing x values.
+// Every series must have the same x grid (the sweep sizes).
+void print_series_table(std::ostream& os, const std::string& x_label,
+                        const std::vector<const Series*>& series);
+
+}  // namespace clicsim::sim

@@ -1,0 +1,65 @@
+// UDP: unreliable datagrams over IP (8-byte header). Large datagrams rely
+// on IP fragmentation. Used by the PVM-style layer's control traffic and as
+// the unreliable baseline in tests.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "sim/task.hpp"
+#include "tcpip/ip.hpp"
+
+namespace clicsim::tcpip {
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::int64_t length = 0;
+};
+
+struct UdpDatagram {
+  int src_node = -1;
+  std::uint16_t src_port = 0;
+  net::Buffer data;
+};
+
+class UdpStack : public IpTransport {
+ public:
+  UdpStack(IpLayer& ip, Config config);
+
+  void bind(int port);
+
+  // Fire-and-forget datagram; the future completes when the last
+  // fragment's DMA descriptor finished (local send completion).
+  [[nodiscard]] sim::Future<bool> sendto(int src_port, int dst_node,
+                                         int dst_port, net::Buffer data);
+
+  [[nodiscard]] sim::Future<UdpDatagram> recvfrom(int port);
+
+  // IpTransport
+  void datagram_received(int src_node, net::HeaderBlob l4,
+                         net::Buffer payload, sim::CpuPriority prio) override;
+
+  [[nodiscard]] std::uint64_t datagrams_sent() const { return tx_; }
+  [[nodiscard]] std::uint64_t datagrams_received() const { return rx_; }
+  [[nodiscard]] std::uint64_t dropped_unbound() const {
+    return dropped_unbound_;
+  }
+  [[nodiscard]] os::Node& node() { return ip_->node(); }
+
+ private:
+  struct PortState {
+    std::deque<UdpDatagram> ready;
+    std::deque<sim::Future<UdpDatagram>> waiting;
+  };
+
+  IpLayer* ip_;
+  Config config_;
+  std::unordered_map<int, PortState> ports_;
+  std::uint64_t tx_ = 0;
+  std::uint64_t rx_ = 0;
+  std::uint64_t dropped_unbound_ = 0;
+};
+
+}  // namespace clicsim::tcpip

@@ -1,0 +1,79 @@
+// Property-style sweeps over Buffer/BufferChain invariants: arbitrary
+// (seeded) slice decompositions must reassemble to the original content,
+// checksums must be stable under slicing, and size-only semantics must be
+// preserved through chains.
+#include <gtest/gtest.h>
+
+#include "net/buffer.hpp"
+#include "sim/random.hpp"
+
+namespace clicsim::net {
+namespace {
+
+class BufferSlicing : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BufferSlicing, RandomDecompositionReassemblesExactly) {
+  sim::Rng rng(GetParam(), "slicing");
+  const auto size = rng.uniform_int(1, 200000);
+  Buffer whole = Buffer::pattern(size, GetParam());
+
+  BufferChain chain;
+  std::int64_t offset = 0;
+  while (offset < size) {
+    const auto len = std::min<std::int64_t>(
+        rng.uniform_int(1, 9000), size - offset);
+    chain.append(whole.slice(offset, len));
+    offset += len;
+  }
+  Buffer back = chain.flatten();
+  EXPECT_EQ(back.size(), whole.size());
+  EXPECT_TRUE(back.content_equals(whole));
+  EXPECT_EQ(back.checksum(), whole.checksum());
+}
+
+TEST_P(BufferSlicing, NestedSlicesEqualDirectSlices) {
+  sim::Rng rng(GetParam(), "nested");
+  Buffer whole = Buffer::pattern(50000, GetParam() * 3 + 1);
+  const auto a = rng.uniform_int(0, 20000);
+  const auto alen = rng.uniform_int(1, 20000);
+  const auto b = rng.uniform_int(0, alen - 1);
+  const auto blen = rng.uniform_int(1, alen - b);
+  Buffer nested = whole.slice(a, alen).slice(b, blen);
+  Buffer direct = whole.slice(a + b, blen);
+  EXPECT_TRUE(nested.content_equals(direct));
+  EXPECT_EQ(nested.checksum(), direct.checksum());
+}
+
+TEST_P(BufferSlicing, SizeOnlyChainsStaySizeOnly) {
+  sim::Rng rng(GetParam(), "size-only");
+  BufferChain chain;
+  std::int64_t total = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto n = rng.uniform_int(0, 5000);
+    chain.append(Buffer::zeros(n));
+    total += n;
+  }
+  Buffer flat = chain.flatten();
+  EXPECT_EQ(flat.size(), total);
+  EXPECT_FALSE(total > 0 && flat.has_data());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BufferSlicing,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(BufferChecksum, DiffersOnSingleByteFlip) {
+  Buffer a = Buffer::pattern(1000, 9);
+  std::vector<std::byte> bytes(a.data().begin(), a.data().end());
+  bytes[500] ^= std::byte{0x01};
+  Buffer b = Buffer::bytes(std::move(bytes));
+  EXPECT_NE(a.checksum(), b.checksum());
+  EXPECT_FALSE(a.content_equals(b));
+}
+
+TEST(BufferChecksum, SizeOnlyTokenEncodesLength) {
+  EXPECT_NE(Buffer::zeros(10).checksum(), Buffer::zeros(11).checksum());
+  EXPECT_EQ(Buffer::zeros(10).checksum(), Buffer::zeros(10).checksum());
+}
+
+}  // namespace
+}  // namespace clicsim::net

@@ -1,0 +1,95 @@
+// Calibration regression: pins the reproduced headline numbers so model
+// refactors cannot silently break the reproduction. Tolerances are tighter
+// than the bench harness's "shape" bands — these are OUR numbers.
+#include <gtest/gtest.h>
+
+#include "apps/workloads.hpp"
+
+namespace clicsim {
+namespace {
+
+TEST(Calibration, ClicZeroByteLatencyNear36us) {
+  apps::Scenario s;
+  const double us = sim::to_us(apps::clic_one_way(s, 0));
+  EXPECT_NEAR(us, 36.0, 4.0);
+}
+
+TEST(Calibration, ClicAsymptoteMtu9000Near600) {
+  apps::Scenario s;
+  const double mbps = apps::to_mbps(4 << 20, apps::clic_one_way(s, 4 << 20));
+  EXPECT_NEAR(mbps, 600.0, 60.0);
+}
+
+TEST(Calibration, ClicAsymptoteMtu1500Near450) {
+  apps::Scenario s;
+  s.mtu = 1500;
+  const double mbps = apps::to_mbps(4 << 20, apps::clic_one_way(s, 4 << 20));
+  EXPECT_NEAR(mbps, 450.0, 60.0);
+}
+
+TEST(Calibration, ClicBeatsTcpByMoreThanTwoX) {
+  apps::Scenario s;
+  const double clic = apps::to_mbps(4 << 20, apps::clic_one_way(s, 4 << 20));
+  const double tcp = apps::to_mbps(4 << 20, apps::tcp_one_way(s, 4 << 20));
+  EXPECT_GT(clic, 2.0 * tcp);
+  EXPECT_GT(tcp, 120.0);  // TCP is slow, not broken
+}
+
+TEST(Calibration, SyscallRoundTripIs650ns) {
+  hw::HostParams host;
+  EXPECT_EQ(host.syscall_enter + host.syscall_exit, sim::nanoseconds(650));
+}
+
+TEST(Calibration, ClicModuleCostsMatchFigure7) {
+  clic::Config cfg;
+  EXPECT_EQ(cfg.module_tx_cost, sim::nanoseconds(700));   // 0.7 us
+  EXPECT_EQ(cfg.driver_tx_cost, sim::microseconds(4.0));  // 4 us
+  EXPECT_EQ(cfg.module_rx_cost, sim::microseconds(2.0));  // ~2 us
+}
+
+TEST(Calibration, DirectDispatchImprovesLatency) {
+  apps::Scenario stock;
+  apps::Scenario direct;
+  direct.clic.direct_dispatch = true;
+  const auto a = apps::clic_one_way(stock, 1400);
+  const auto b = apps::clic_one_way(direct, 1400);
+  // Fig. 7b projects ~10-15 us off the receive path.
+  EXPECT_GT(a - b, sim::microseconds(6));
+  EXPECT_LT(a - b, sim::microseconds(20));
+}
+
+TEST(Calibration, GammaIsFasterButClicIsClose) {
+  apps::Scenario s;
+  apps::Scenario g = s;
+  g.cluster.nic = hw::NicProfile::ga620();
+  const auto clic = apps::clic_one_way(s, 0);
+  const auto gamma = apps::gamma_one_way(g, 0);
+  EXPECT_LT(gamma, clic);                           // GAMMA wins on latency
+  EXPECT_LT(clic, gamma + sim::microseconds(30));   // but not by miles
+}
+
+TEST(Calibration, MpiOverClicWithinReachOfRawClic) {
+  apps::Scenario s;
+  const double raw =
+      apps::to_mbps(1 << 20, apps::clic_one_way(s, 1 << 20));
+  const double mpi =
+      apps::to_mbps(1 << 20, apps::mpi_clic_one_way(s, 1 << 20));
+  EXPECT_GT(mpi, 0.85 * raw);
+}
+
+TEST(Calibration, MpiClicAtLeast1_5xMpiTcpForLongMessages) {
+  apps::Scenario s;
+  const double a = apps::to_mbps(1 << 20, apps::mpi_clic_one_way(s, 1 << 20));
+  const double b = apps::to_mbps(1 << 20, apps::mpi_tcp_one_way(s, 1 << 20));
+  EXPECT_GE(a, 1.5 * b);
+}
+
+TEST(Calibration, PvmTrailsMpiTcp) {
+  apps::Scenario s;
+  const double mpi = apps::to_mbps(256 << 10, apps::mpi_tcp_one_way(s, 256 << 10));
+  const double pvm = apps::to_mbps(256 << 10, apps::pvm_one_way(s, 256 << 10));
+  EXPECT_LT(pvm, mpi);
+}
+
+}  // namespace
+}  // namespace clicsim

@@ -1,0 +1,175 @@
+// Boundary conditions across the stack: empty and huge messages, exact-MTU
+// payloads, tiny windows, and back-to-back message floods.
+#include <gtest/gtest.h>
+
+#include "apps/testbed.hpp"
+#include "sim/task.hpp"
+
+namespace clicsim {
+namespace {
+
+// Payloads straddling the fragmentation boundary: chunk = mtu - 12.
+class ClicBoundarySizes : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ClicBoundarySizes, ExactBoundaryPayloadsSurvive) {
+  apps::ClicBed bed;
+  bed.cluster.set_mtu_all(1500);
+  bed.module(0).bind_port(1);
+  bed.module(1).bind_port(1);
+  const std::int64_t size = GetParam();
+  net::Buffer payload =
+      size > 0 ? net::Buffer::pattern(size, 42) : net::Buffer::zeros(0);
+  struct Run {
+    static sim::Task tx(clic::ClicModule& m, net::Buffer d) {
+      (void)co_await m.send(1, 1, 1, std::move(d));
+    }
+    static sim::Task rx(clic::ClicModule& m, net::Buffer expect, bool* ok) {
+      clic::Message got = co_await m.recv(1);
+      *ok = got.data.size() == expect.size() &&
+            got.data.content_equals(expect);
+    }
+  };
+  bool ok = false;
+  Run::tx(bed.module(0), payload);
+  Run::rx(bed.module(1), payload, &ok);
+  bed.sim.run();
+  EXPECT_TRUE(ok) << "size " << size;
+}
+
+// chunk = 1500 - 12 = 1488; test every off-by-one around 1x and 2x.
+INSTANTIATE_TEST_SUITE_P(
+    AroundMtu, ClicBoundarySizes,
+    ::testing::Values(std::int64_t{0}, std::int64_t{1}, std::int64_t{1487},
+                      std::int64_t{1488}, std::int64_t{1489},
+                      std::int64_t{2975}, std::int64_t{2976},
+                      std::int64_t{2977}));
+
+TEST(EdgeCases, TenMegabyteMessageAtStandardMtu) {
+  apps::ClicBed bed;
+  bed.cluster.set_mtu_all(1500);
+  bed.module(0).bind_port(1);
+  bed.module(1).bind_port(1);
+  const std::int64_t size = 10 * 1024 * 1024;
+  struct Run {
+    static sim::Task tx(clic::ClicModule& m, std::int64_t n) {
+      (void)co_await m.send(1, 1, 1, net::Buffer::zeros(n));
+    }
+    static sim::Task rx(clic::ClicModule& m, std::int64_t n, bool* ok) {
+      clic::Message got = co_await m.recv(1);
+      *ok = got.data.size() == n;
+    }
+  };
+  bool ok = false;
+  Run::tx(bed.module(0), size);
+  Run::rx(bed.module(1), size, &ok);
+  bed.sim.run();
+  EXPECT_TRUE(ok);
+  // ~7050 packets at chunk 1488.
+  auto* ch = bed.module(1).channel_to(0);
+  ASSERT_NE(ch, nullptr);
+  EXPECT_GE(ch->rx_next(), 7000u);
+}
+
+TEST(EdgeCases, TinyChannelWindowStillMakesProgress) {
+  clic::Config cfg;
+  cfg.window_packets = 1;  // stop-and-wait degenerate case
+  apps::ClicBed bed({}, cfg);
+  bed.cluster.set_mtu_all(1500);
+  bed.module(0).bind_port(1);
+  bed.module(1).bind_port(1);
+  struct Run {
+    static sim::Task tx(clic::ClicModule& m) {
+      (void)co_await m.send(1, 1, 1, net::Buffer::pattern(30000, 1));
+    }
+    static sim::Task rx(clic::ClicModule& m, bool* ok) {
+      clic::Message got = co_await m.recv(1);
+      *ok = got.data.content_equals(net::Buffer::pattern(30000, 1));
+    }
+  };
+  bool ok = false;
+  Run::tx(bed.module(0));
+  Run::rx(bed.module(1), &ok);
+  bed.sim.run_until(sim::seconds(5));
+  EXPECT_TRUE(ok);
+}
+
+TEST(EdgeCases, FloodOfTinyMessagesArrivesInOrder) {
+  apps::ClicBed bed;
+  bed.module(0).bind_port(1);
+  bed.module(1).bind_port(1);
+  constexpr int kCount = 200;
+  struct Run {
+    static sim::Task tx(clic::ClicModule& m) {
+      for (int i = 0; i < kCount; ++i) {
+        (void)co_await m.send(1, 1, 1, net::Buffer::zeros(8),
+                              clic::SendMode::kAsync);
+      }
+    }
+    static sim::Task rx(clic::ClicModule& m, int* in_order) {
+      for (int i = 0; i < kCount; ++i) {
+        clic::Message got = co_await m.recv(1);
+        (void)got;
+        ++*in_order;
+      }
+    }
+  };
+  int got = 0;
+  Run::tx(bed.module(0));
+  Run::rx(bed.module(1), &got);
+  bed.sim.run();
+  EXPECT_EQ(got, kCount);
+}
+
+TEST(EdgeCases, TcpOneByteStream) {
+  apps::TcpBed bed;
+  bed.tcp[1]->listen(5000);
+  struct Run {
+    static sim::Task tx(tcpip::TcpStack& t) {
+      auto& s = t.create_socket();
+      (void)co_await s.connect(1, 5000);
+      for (int i = 0; i < 20; ++i) {
+        (void)co_await s.send(net::Buffer::zeros(1));
+      }
+      s.close();
+    }
+    static sim::Task rx(tcpip::TcpStack& t, std::int64_t* total) {
+      auto* s = co_await t.accept(5000);
+      for (;;) {
+        net::Buffer b = co_await s->recv(64);
+        if (b.size() == 0) co_return;
+        *total += b.size();
+      }
+    }
+  };
+  std::int64_t total = 0;
+  Run::tx(*bed.tcp[0]);
+  Run::rx(*bed.tcp[1], &total);
+  bed.sim.run_until(sim::seconds(2));
+  EXPECT_EQ(total, 20);
+}
+
+TEST(EdgeCases, JumboExactlyAtMtuNine_thousand) {
+  apps::ClicBed bed;  // MTU 9000
+  bed.module(0).bind_port(1);
+  bed.module(1).bind_port(1);
+  // chunk = 9000 - 12 = 8988: one full packet, then one byte over.
+  for (const std::int64_t size : {std::int64_t{8988}, std::int64_t{8989}}) {
+    struct Run {
+      static sim::Task tx(clic::ClicModule& m, std::int64_t n) {
+        (void)co_await m.send(1, 1, 1, net::Buffer::pattern(n, n));
+      }
+      static sim::Task rx(clic::ClicModule& m, std::int64_t n, bool* ok) {
+        clic::Message got = co_await m.recv(1);
+        *ok = got.data.content_equals(net::Buffer::pattern(n, n));
+      }
+    };
+    bool ok = false;
+    Run::tx(bed.module(0), size);
+    Run::rx(bed.module(1), size, &ok);
+    bed.sim.run();
+    EXPECT_TRUE(ok) << size;
+  }
+}
+
+}  // namespace
+}  // namespace clicsim

@@ -1,0 +1,259 @@
+// Tests for the mini-MPI layer: matching semantics, eager vs rendezvous,
+// and collectives — parameterized over both transports (CLIC and TCP).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/testbed.hpp"
+#include "sim/task.hpp"
+
+namespace clicsim {
+namespace {
+
+// A transport-agnostic harness: builds the bed, returns communicators.
+struct MpiWorld {
+  std::unique_ptr<apps::MpiClicBed> clic;
+  std::unique_ptr<apps::MpiTcpBed> tcp;
+  bool ready = false;
+
+  MpiWorld(const std::string& transport, int ranks) {
+    os::ClusterConfig cc;
+    cc.nodes = ranks;
+    if (transport == "clic") {
+      clic = std::make_unique<apps::MpiClicBed>(cc);
+      ready = true;
+    } else {
+      tcp = std::make_unique<apps::MpiTcpBed>(cc);
+      wait_connect(*this);
+      sim().run();
+      EXPECT_TRUE(ready);
+    }
+  }
+
+  static sim::Task wait_connect(MpiWorld& w) {
+    w.ready = co_await w.tcp->connect();
+  }
+
+  mpi::Communicator& comm(int r) {
+    return clic ? clic->comm(r) : tcp->comm(r);
+  }
+  sim::Simulator& sim() { return clic ? clic->sim() : tcp->sim(); }
+};
+
+class MpiBothTransports : public ::testing::TestWithParam<const char*> {};
+
+INSTANTIATE_TEST_SUITE_P(Transports, MpiBothTransports,
+                         ::testing::Values("clic", "tcp"));
+
+TEST_P(MpiBothTransports, EagerSendRecvWithIntegrity) {
+  MpiWorld w(GetParam(), 2);
+  net::Buffer payload = net::Buffer::pattern(4096, 1);
+  struct Run {
+    static sim::Task tx(mpi::Communicator& c, net::Buffer d) {
+      (void)co_await c.send(1, 42, std::move(d));
+    }
+    static sim::Task rx(mpi::Communicator& c, net::Buffer expect, bool* ok) {
+      mpi::RecvResult r = co_await c.recv(0, 42);
+      *ok = r.src == 0 && r.tag == 42 && r.data.content_equals(expect);
+    }
+  };
+  bool ok = false;
+  Run::tx(w.comm(0), payload);
+  Run::rx(w.comm(1), payload, &ok);
+  w.sim().run();
+  EXPECT_TRUE(ok);
+}
+
+TEST_P(MpiBothTransports, RendezvousForLargeMessages) {
+  MpiWorld w(GetParam(), 2);
+  net::Buffer payload = net::Buffer::pattern(200000, 6);  // > threshold
+  struct Run {
+    static sim::Task tx(mpi::Communicator& c, net::Buffer d, bool* done) {
+      (void)co_await c.send(1, 1, std::move(d));
+      *done = true;
+    }
+    static sim::Task rx(mpi::Communicator& c, net::Buffer expect, bool* ok) {
+      mpi::RecvResult r = co_await c.recv(0, 1);
+      *ok = r.data.content_equals(expect);
+    }
+  };
+  bool sent = false;
+  bool ok = false;
+  Run::tx(w.comm(0), payload, &sent);
+  Run::rx(w.comm(1), payload, &ok);
+  w.sim().run();
+  EXPECT_TRUE(sent);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(w.comm(0).rendezvous_sends(), 1u);
+}
+
+TEST_P(MpiBothTransports, WildcardSourceAndTag) {
+  MpiWorld w(GetParam(), 3);
+  struct Run {
+    static sim::Task tx(mpi::Communicator& c, int tag) {
+      (void)co_await c.send(2, tag, net::Buffer::zeros(100));
+    }
+    static sim::Task rx(mpi::Communicator& c, std::vector<int>* srcs) {
+      for (int i = 0; i < 2; ++i) {
+        mpi::RecvResult r = co_await c.recv(mpi::kAnySource, mpi::kAnyTag);
+        srcs->push_back(r.src);
+      }
+    }
+  };
+  std::vector<int> srcs;
+  Run::tx(w.comm(0), 1);
+  Run::tx(w.comm(1), 2);
+  Run::rx(w.comm(2), &srcs);
+  w.sim().run();
+  ASSERT_EQ(srcs.size(), 2u);
+  EXPECT_NE(srcs[0], srcs[1]);
+}
+
+TEST_P(MpiBothTransports, TagSelectivityLeavesUnexpectedQueued) {
+  MpiWorld w(GetParam(), 2);
+  struct Run {
+    static sim::Task tx(mpi::Communicator& c) {
+      (void)co_await c.send(1, /*tag=*/7, net::Buffer::pattern(100, 7));
+      (void)co_await c.send(1, /*tag=*/8, net::Buffer::pattern(100, 8));
+    }
+    static sim::Task rx(mpi::Communicator& c, bool* ok) {
+      // Receive tag 8 first even though 7 arrived first.
+      mpi::RecvResult r8 = co_await c.recv(0, 8);
+      mpi::RecvResult r7 = co_await c.recv(0, 7);
+      *ok = r8.data.content_equals(net::Buffer::pattern(100, 8)) &&
+            r7.data.content_equals(net::Buffer::pattern(100, 7));
+    }
+  };
+  bool ok = false;
+  Run::tx(w.comm(0));
+  Run::rx(w.comm(1), &ok);
+  w.sim().run();
+  EXPECT_TRUE(ok);
+  EXPECT_GE(w.comm(1).unexpected_messages(), 1u);
+}
+
+TEST_P(MpiBothTransports, BarrierSynchronizesRanks) {
+  const int n = 5;
+  MpiWorld w(GetParam(), n);
+  std::vector<sim::SimTime> released(n, 0);
+  struct Run {
+    static sim::Task go(sim::Simulator& sim, mpi::Communicator& c,
+                        sim::SimTime delay, sim::SimTime* out) {
+      co_await sim::Delay{sim, delay};
+      (void)co_await c.barrier();
+      *out = sim.now();
+    }
+  };
+  for (int i = 0; i < n; ++i) {
+    Run::go(w.sim(), w.comm(i), sim::microseconds(100.0 * i), &released[i]);
+  }
+  w.sim().run();
+  // Nobody leaves before the slowest entered (400 us).
+  for (int i = 0; i < n; ++i) {
+    EXPECT_GE(released[i], sim::microseconds(400));
+  }
+}
+
+TEST_P(MpiBothTransports, BcastDeliversPayloadEverywhere) {
+  const int n = 6;
+  MpiWorld w(GetParam(), n);
+  net::Buffer payload = net::Buffer::pattern(30000, 12);
+  int ok = 0;
+  struct Run {
+    static sim::Task go(mpi::Communicator& c, int root, net::Buffer data,
+                        net::Buffer expect, int* ok) {
+      net::Buffer out = co_await c.bcast(root, std::move(data));
+      if (out.size() == expect.size() && out.content_equals(expect)) ++*ok;
+    }
+  };
+  for (int i = 0; i < n; ++i) {
+    Run::go(w.comm(i), 2, i == 2 ? payload : net::Buffer{}, payload, &ok);
+  }
+  w.sim().run();
+  EXPECT_EQ(ok, n);
+}
+
+TEST_P(MpiBothTransports, GatherCollectsAllContributions) {
+  const int n = 4;
+  MpiWorld w(GetParam(), n);
+  std::vector<net::Buffer> got;
+  struct Run {
+    static sim::Task go(mpi::Communicator& c, int root,
+                        std::vector<net::Buffer>* out) {
+      auto v = co_await c.gather(root, net::Buffer::pattern(64, c.rank()));
+      if (c.rank() == root) *out = std::move(v);
+    }
+  };
+  for (int i = 0; i < n; ++i) Run::go(w.comm(i), 1, &got);
+  w.sim().run();
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(got[i].content_equals(net::Buffer::pattern(64, i)))
+        << "rank " << i;
+  }
+}
+
+TEST_P(MpiBothTransports, AllreduceReturnsFullSizeEverywhere) {
+  const int n = 4;
+  MpiWorld w(GetParam(), n);
+  int ok = 0;
+  struct Run {
+    static sim::Task go(mpi::Communicator& c, int* ok) {
+      net::Buffer out = co_await c.allreduce_sum(net::Buffer::zeros(1024));
+      if (out.size() == 1024) ++*ok;
+    }
+  };
+  for (int i = 0; i < n; ++i) Run::go(w.comm(i), &ok);
+  w.sim().run();
+  EXPECT_EQ(ok, n);
+}
+
+TEST_P(MpiBothTransports, ManyInterleavedMessagesKeepPairOrder) {
+  MpiWorld w(GetParam(), 2);
+  struct Run {
+    static sim::Task tx(mpi::Communicator& c) {
+      for (int i = 0; i < 30; ++i) {
+        (void)co_await c.send(1, 5, net::Buffer::pattern(64 + i, i));
+      }
+    }
+    static sim::Task rx(mpi::Communicator& c, int* in_order) {
+      for (int i = 0; i < 30; ++i) {
+        mpi::RecvResult r = co_await c.recv(0, 5);
+        if (r.data.size() == 64 + i) ++*in_order;
+      }
+    }
+  };
+  int in_order = 0;
+  Run::tx(w.comm(0));
+  Run::rx(w.comm(1), &in_order);
+  w.sim().run();
+  EXPECT_EQ(in_order, 30);  // MPI non-overtaking rule
+}
+
+// CLIC-only: the native broadcast path must be exercised (>2 ranks).
+TEST(MpiClic, NativeBroadcastUsesEthernetBroadcast) {
+  os::ClusterConfig cc;
+  cc.nodes = 6;
+  apps::MpiClicBed bed(cc);
+  net::Buffer payload = net::Buffer::pattern(50000, 3);
+  int ok = 0;
+  struct Run {
+    static sim::Task go(mpi::Communicator& c, net::Buffer data,
+                        net::Buffer expect, int* ok) {
+      net::Buffer out = co_await c.bcast(0, std::move(data));
+      if (out.content_equals(expect)) ++*ok;
+    }
+  };
+  for (int i = 0; i < 6; ++i) {
+    Run::go(bed.comm(i), i == 0 ? payload : net::Buffer{}, payload, &ok);
+  }
+  bed.sim().run();
+  EXPECT_EQ(ok, 6);
+  // Root transmitted the payload once (plus control), not 5 times: frames
+  // on its link stay well below the tree's 5x replication.
+  const auto frames = bed.bed.cluster.link(0).frames_sent(0);
+  EXPECT_LT(frames, 2.5 * 50000 / 1488 + 20);
+}
+
+}  // namespace
+}  // namespace clicsim

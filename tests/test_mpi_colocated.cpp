@@ -1,0 +1,155 @@
+// Several MPI ranks per node over CLIC: co-located ranks communicate
+// through CLIC's intra-node path (kernel memory, no NIC) while remote
+// pairs use the wire — the multiprogramming capability of section 5.
+#include <gtest/gtest.h>
+
+#include "apps/testbed.hpp"
+#include "sim/task.hpp"
+
+namespace clicsim {
+namespace {
+
+// 2 nodes x 2 ranks: ranks 0,1 on node 0; ranks 2,3 on node 1.
+struct ColocatedWorld {
+  apps::ClicBed bed;
+  std::vector<std::unique_ptr<mpi::ClicTransport>> transports;
+  std::vector<std::unique_ptr<mpi::Communicator>> comms;
+
+  explicit ColocatedWorld(int nodes = 2, int per_node = 2)
+      : bed([&] {
+          os::ClusterConfig cc;
+          cc.nodes = nodes;
+          return cc;
+        }()) {
+    const int ranks = nodes * per_node;
+    for (int r = 0; r < ranks; ++r) {
+      transports.push_back(std::make_unique<mpi::ClicTransport>(
+          bed.module(r / per_node), r, ranks, per_node, /*base_port=*/200));
+      comms.push_back(
+          std::make_unique<mpi::Communicator>(*transports.back()));
+    }
+  }
+
+  mpi::Communicator& comm(int r) {
+    return *comms.at(static_cast<std::size_t>(r));
+  }
+};
+
+TEST(MpiColocated, IntraNodePairUsesKernelPathNotTheWire) {
+  ColocatedWorld w;
+  bool ok = false;
+  struct Run {
+    static sim::Task tx(mpi::Communicator& c) {
+      (void)co_await c.send(1, 5, net::Buffer::pattern(4000, 9));
+    }
+    static sim::Task rx(mpi::Communicator& c, bool* ok) {
+      mpi::RecvResult r = co_await c.recv(0, 5);
+      *ok = r.src == 0 && r.data.content_equals(net::Buffer::pattern(4000, 9));
+    }
+  };
+  const auto wire_before = w.bed.cluster.link(0).frames_sent(0);
+  Run::tx(w.comm(0));   // rank 0 -> rank 1, both on node 0
+  Run::rx(w.comm(1), &ok);
+  w.bed.sim.run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(w.bed.cluster.link(0).frames_sent(0), wire_before);
+  EXPECT_GE(w.bed.module(0).intra_node_messages(), 1u);
+}
+
+TEST(MpiColocated, CrossNodePairStillUsesTheWire) {
+  ColocatedWorld w;
+  bool ok = false;
+  struct Run {
+    static sim::Task tx(mpi::Communicator& c) {
+      (void)co_await c.send(3, 5, net::Buffer::pattern(4000, 2));
+    }
+    static sim::Task rx(mpi::Communicator& c, bool* ok) {
+      mpi::RecvResult r = co_await c.recv(1, 5);
+      *ok = r.src == 1 && r.data.content_equals(net::Buffer::pattern(4000, 2));
+    }
+  };
+  Run::tx(w.comm(1));   // rank 1 (node 0) -> rank 3 (node 1)
+  Run::rx(w.comm(3), &ok);
+  w.bed.sim.run();
+  EXPECT_TRUE(ok);
+  EXPECT_GT(w.bed.cluster.link(0).frames_sent(0), 0u);
+}
+
+TEST(MpiColocated, SourceRanksAreDisambiguated) {
+  // Both ranks of node 0 send to rank 2 with the same tag: the receiver
+  // must attribute each message to the right rank, not just the node.
+  ColocatedWorld w;
+  int from0 = 0;
+  int from1 = 0;
+  struct Run {
+    static sim::Task tx(mpi::Communicator& c, std::int64_t size) {
+      (void)co_await c.send(2, 5, net::Buffer::zeros(size));
+    }
+    static sim::Task rx(mpi::Communicator& c, int* from0, int* from1) {
+      for (int i = 0; i < 2; ++i) {
+        mpi::RecvResult r = co_await c.recv(mpi::kAnySource, 5);
+        if (r.src == 0 && r.data.size() == 1000) ++*from0;
+        if (r.src == 1 && r.data.size() == 2000) ++*from1;
+      }
+    }
+  };
+  Run::tx(w.comm(0), 1000);
+  Run::tx(w.comm(1), 2000);
+  Run::rx(w.comm(2), &from0, &from1);
+  w.bed.sim.run();
+  EXPECT_EQ(from0, 1);
+  EXPECT_EQ(from1, 1);
+}
+
+TEST(MpiColocated, CollectivesSpanMixedTopology) {
+  ColocatedWorld w;  // 4 ranks on 2 nodes
+  int ok = 0;
+  struct Run {
+    static sim::Task go(mpi::Communicator& c, int* ok) {
+      (void)co_await c.barrier();
+      net::Buffer out = co_await c.bcast(
+          0, c.rank() == 0 ? net::Buffer::pattern(8000, 1) : net::Buffer{});
+      auto gathered = co_await c.gather(3, net::Buffer::pattern(64, c.rank()));
+      bool fine = out.content_equals(net::Buffer::pattern(8000, 1));
+      if (c.rank() == 3) {
+        for (int i = 0; i < c.size(); ++i) {
+          fine = fine && gathered[static_cast<std::size_t>(i)].content_equals(
+                             net::Buffer::pattern(64, i));
+        }
+      }
+      if (fine) ++*ok;
+    }
+  };
+  for (int r = 0; r < 4; ++r) Run::go(w.comm(r), &ok);
+  w.bed.sim.run();
+  EXPECT_EQ(ok, 4);
+}
+
+TEST(MpiColocated, IntraNodeLatencyBeatsWireLatency) {
+  ColocatedWorld w;
+  sim::SimTime intra = 0;
+  sim::SimTime wire = 0;
+  struct Run {
+    static sim::Task ping(sim::Simulator& s, mpi::Communicator& c, int peer,
+                          sim::SimTime* out) {
+      const sim::SimTime t0 = s.now();
+      (void)co_await c.send(peer, 6, net::Buffer::zeros(0));
+      (void)co_await c.recv(peer, 6);
+      *out = (s.now() - t0) / 2;
+    }
+    static sim::Task pong(mpi::Communicator& c, int peer) {
+      (void)co_await c.recv(peer, 6);
+      (void)co_await c.send(peer, 6, net::Buffer::zeros(0));
+    }
+  };
+  Run::ping(w.bed.sim, w.comm(0), 1, &intra);  // same node
+  Run::pong(w.comm(1), 0);
+  w.bed.sim.run();
+  Run::ping(w.bed.sim, w.comm(0), 2, &wire);  // across the switch
+  Run::pong(w.comm(2), 0);
+  w.bed.sim.run();
+  EXPECT_LT(intra, wire);
+}
+
+}  // namespace
+}  // namespace clicsim

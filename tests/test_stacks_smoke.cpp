@@ -1,0 +1,56 @@
+// Cross-stack smoke: every protocol stack moves one message and the
+// measured one-way times order the way the paper's comparison does.
+#include <gtest/gtest.h>
+
+#include "apps/workloads.hpp"
+
+namespace clicsim {
+namespace {
+
+TEST(StacksSmoke, OneWayTimesAreOrderedAsInThePaper) {
+  apps::Scenario s;
+
+  const auto clic = apps::clic_one_way(s, 0);
+  const auto tcp = apps::tcp_one_way(s, 1);
+  const auto mpi_clic = apps::mpi_clic_one_way(s, 0);
+  const auto mpi_tcp = apps::mpi_tcp_one_way(s, 0);
+  const auto pvm = apps::pvm_one_way(s, 0);
+  const auto gamma = apps::gamma_one_way(s, 0);
+  const auto via = apps::via_one_way(s, 0);
+
+  // Everything produced a sane, positive latency.
+  for (auto t : {clic, tcp, mpi_clic, mpi_tcp, pvm, gamma, via}) {
+    EXPECT_GT(t, sim::microseconds(3));
+    EXPECT_LT(t, sim::milliseconds(2));
+  }
+
+  // CLIC ~36 us; the paper's comparisons: GAMMA < CLIC < TCP,
+  // MPI-CLIC < MPI-TCP < PVM, and polling VIA below interrupt-driven CLIC.
+  EXPECT_NEAR(sim::to_us(clic), 36.0, 5.0);
+  EXPECT_LT(gamma, clic);
+  EXPECT_LT(clic, tcp);
+  EXPECT_LT(mpi_clic, mpi_tcp);
+  EXPECT_LT(mpi_tcp, pvm);
+  EXPECT_LT(via, clic);
+  EXPECT_LT(clic, mpi_clic);  // MPI adds matching + envelope
+}
+
+TEST(StacksSmoke, MidSizeBandwidthOrdering) {
+  apps::Scenario s;
+  const std::int64_t size = 64 * 1024;
+
+  const double clic = apps::to_mbps(size, apps::clic_one_way(s, size));
+  const double tcp = apps::to_mbps(size, apps::tcp_one_way(s, size));
+  const double mpi_clic =
+      apps::to_mbps(size, apps::mpi_clic_one_way(s, size));
+  const double mpi_tcp = apps::to_mbps(size, apps::mpi_tcp_one_way(s, size));
+  const double pvm = apps::to_mbps(size, apps::pvm_one_way(s, size));
+
+  EXPECT_GT(clic, 2.0 * tcp);      // Figure 5's headline
+  EXPECT_GT(mpi_clic, mpi_tcp);    // Figure 6
+  EXPECT_GT(mpi_tcp, pvm);         // Figure 6
+  EXPECT_GT(clic, mpi_clic * 0.8); // MPI overhead is modest at 64 KB
+}
+
+}  // namespace
+}  // namespace clicsim
