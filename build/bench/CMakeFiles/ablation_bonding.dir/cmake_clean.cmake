@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bonding.dir/ablation_bonding.cpp.o"
+  "CMakeFiles/ablation_bonding.dir/ablation_bonding.cpp.o.d"
+  "ablation_bonding"
+  "ablation_bonding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bonding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

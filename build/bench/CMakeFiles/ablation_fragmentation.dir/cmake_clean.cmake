@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fragmentation.dir/ablation_fragmentation.cpp.o"
+  "CMakeFiles/ablation_fragmentation.dir/ablation_fragmentation.cpp.o.d"
+  "ablation_fragmentation"
+  "ablation_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

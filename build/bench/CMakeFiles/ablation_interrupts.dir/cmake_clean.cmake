@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_interrupts.dir/ablation_interrupts.cpp.o"
+  "CMakeFiles/ablation_interrupts.dir/ablation_interrupts.cpp.o.d"
+  "ablation_interrupts"
+  "ablation_interrupts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interrupts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

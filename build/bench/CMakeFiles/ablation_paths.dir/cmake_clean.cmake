@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_paths.dir/ablation_paths.cpp.o"
+  "CMakeFiles/ablation_paths.dir/ablation_paths.cpp.o.d"
+  "ablation_paths"
+  "ablation_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_mtu_copy.dir/fig4_mtu_copy.cpp.o"
+  "CMakeFiles/fig4_mtu_copy.dir/fig4_mtu_copy.cpp.o.d"
+  "fig4_mtu_copy"
+  "fig4_mtu_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_mtu_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_clic_vs_tcp.dir/fig5_clic_vs_tcp.cpp.o"
+  "CMakeFiles/fig5_clic_vs_tcp.dir/fig5_clic_vs_tcp.cpp.o.d"
+  "fig5_clic_vs_tcp"
+  "fig5_clic_vs_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_clic_vs_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_mpi_pvm.dir/fig6_mpi_pvm.cpp.o"
+  "CMakeFiles/fig6_mpi_pvm.dir/fig6_mpi_pvm.cpp.o.d"
+  "fig6_mpi_pvm"
+  "fig6_mpi_pvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mpi_pvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

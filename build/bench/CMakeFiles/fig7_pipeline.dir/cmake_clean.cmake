@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_pipeline.dir/fig7_pipeline.cpp.o"
+  "CMakeFiles/fig7_pipeline.dir/fig7_pipeline.cpp.o.d"
+  "fig7_pipeline"
+  "fig7_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

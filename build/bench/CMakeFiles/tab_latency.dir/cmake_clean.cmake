@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_latency.dir/tab_latency.cpp.o"
+  "CMakeFiles/tab_latency.dir/tab_latency.cpp.o.d"
+  "tab_latency"
+  "tab_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bonding_remote_write.dir/bonding_remote_write.cpp.o"
+  "CMakeFiles/bonding_remote_write.dir/bonding_remote_write.cpp.o.d"
+  "bonding_remote_write"
+  "bonding_remote_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bonding_remote_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broadcast_tree.dir/broadcast_tree.cpp.o"
+  "CMakeFiles/broadcast_tree.dir/broadcast_tree.cpp.o.d"
+  "broadcast_tree"
+  "broadcast_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broadcast_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_solver.dir/heat_solver.cpp.o"
+  "CMakeFiles/heat_solver.dir/heat_solver.cpp.o.d"
+  "heat_solver"
+  "heat_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

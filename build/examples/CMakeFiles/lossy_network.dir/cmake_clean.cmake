@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossy_network.dir/lossy_network.cpp.o"
+  "CMakeFiles/lossy_network.dir/lossy_network.cpp.o.d"
+  "lossy_network"
+  "lossy_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossy_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;10;clicsim_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_halo_exchange "/root/repo/build/examples/halo_exchange")
+set_tests_properties(example_halo_exchange PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;11;clicsim_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_task_farm "/root/repo/build/examples/task_farm")
+set_tests_properties(example_task_farm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;12;clicsim_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_broadcast_tree "/root/repo/build/examples/broadcast_tree")
+set_tests_properties(example_broadcast_tree PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;13;clicsim_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bonding_remote_write "/root/repo/build/examples/bonding_remote_write")
+set_tests_properties(example_bonding_remote_write PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;14;clicsim_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_packet_trace "/root/repo/build/examples/packet_trace")
+set_tests_properties(example_packet_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;15;clicsim_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_lossy_network "/root/repo/build/examples/lossy_network")
+set_tests_properties(example_lossy_network PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;16;clicsim_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_heat_solver "/root/repo/build/examples/heat_solver")
+set_tests_properties(example_heat_solver PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;17;clicsim_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clicsim_apps.dir/parallel.cpp.o"
+  "CMakeFiles/clicsim_apps.dir/parallel.cpp.o.d"
+  "CMakeFiles/clicsim_apps.dir/report.cpp.o"
+  "CMakeFiles/clicsim_apps.dir/report.cpp.o.d"
+  "CMakeFiles/clicsim_apps.dir/testbed.cpp.o"
+  "CMakeFiles/clicsim_apps.dir/testbed.cpp.o.d"
+  "CMakeFiles/clicsim_apps.dir/trace.cpp.o"
+  "CMakeFiles/clicsim_apps.dir/trace.cpp.o.d"
+  "CMakeFiles/clicsim_apps.dir/workloads.cpp.o"
+  "CMakeFiles/clicsim_apps.dir/workloads.cpp.o.d"
+  "libclicsim_apps.a"
+  "libclicsim_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clicsim_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

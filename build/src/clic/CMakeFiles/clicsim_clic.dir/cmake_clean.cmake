@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clicsim_clic.dir/channel.cpp.o"
+  "CMakeFiles/clicsim_clic.dir/channel.cpp.o.d"
+  "CMakeFiles/clicsim_clic.dir/module.cpp.o"
+  "CMakeFiles/clicsim_clic.dir/module.cpp.o.d"
+  "libclicsim_clic.a"
+  "libclicsim_clic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clicsim_clic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

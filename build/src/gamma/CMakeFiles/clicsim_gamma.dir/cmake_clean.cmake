@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clicsim_gamma.dir/gamma.cpp.o"
+  "CMakeFiles/clicsim_gamma.dir/gamma.cpp.o.d"
+  "libclicsim_gamma.a"
+  "libclicsim_gamma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clicsim_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/buses.cpp" "src/hw/CMakeFiles/clicsim_hw.dir/buses.cpp.o" "gcc" "src/hw/CMakeFiles/clicsim_hw.dir/buses.cpp.o.d"
+  "/root/repo/src/hw/interrupt.cpp" "src/hw/CMakeFiles/clicsim_hw.dir/interrupt.cpp.o" "gcc" "src/hw/CMakeFiles/clicsim_hw.dir/interrupt.cpp.o.d"
+  "/root/repo/src/hw/nic.cpp" "src/hw/CMakeFiles/clicsim_hw.dir/nic.cpp.o" "gcc" "src/hw/CMakeFiles/clicsim_hw.dir/nic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/clicsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/clicsim_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

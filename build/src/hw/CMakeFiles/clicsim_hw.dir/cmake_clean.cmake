@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clicsim_hw.dir/buses.cpp.o"
+  "CMakeFiles/clicsim_hw.dir/buses.cpp.o.d"
+  "CMakeFiles/clicsim_hw.dir/interrupt.cpp.o"
+  "CMakeFiles/clicsim_hw.dir/interrupt.cpp.o.d"
+  "CMakeFiles/clicsim_hw.dir/nic.cpp.o"
+  "CMakeFiles/clicsim_hw.dir/nic.cpp.o.d"
+  "libclicsim_hw.a"
+  "libclicsim_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clicsim_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clicsim_mpi.dir/comm.cpp.o"
+  "CMakeFiles/clicsim_mpi.dir/comm.cpp.o.d"
+  "CMakeFiles/clicsim_mpi.dir/transport.cpp.o"
+  "CMakeFiles/clicsim_mpi.dir/transport.cpp.o.d"
+  "libclicsim_mpi.a"
+  "libclicsim_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clicsim_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/buffer.cpp" "src/net/CMakeFiles/clicsim_net.dir/buffer.cpp.o" "gcc" "src/net/CMakeFiles/clicsim_net.dir/buffer.cpp.o.d"
+  "/root/repo/src/net/frame.cpp" "src/net/CMakeFiles/clicsim_net.dir/frame.cpp.o" "gcc" "src/net/CMakeFiles/clicsim_net.dir/frame.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/clicsim_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/clicsim_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/switch.cpp" "src/net/CMakeFiles/clicsim_net.dir/switch.cpp.o" "gcc" "src/net/CMakeFiles/clicsim_net.dir/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/clicsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

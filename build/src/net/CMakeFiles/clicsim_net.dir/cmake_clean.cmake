@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clicsim_net.dir/buffer.cpp.o"
+  "CMakeFiles/clicsim_net.dir/buffer.cpp.o.d"
+  "CMakeFiles/clicsim_net.dir/frame.cpp.o"
+  "CMakeFiles/clicsim_net.dir/frame.cpp.o.d"
+  "CMakeFiles/clicsim_net.dir/link.cpp.o"
+  "CMakeFiles/clicsim_net.dir/link.cpp.o.d"
+  "CMakeFiles/clicsim_net.dir/switch.cpp.o"
+  "CMakeFiles/clicsim_net.dir/switch.cpp.o.d"
+  "libclicsim_net.a"
+  "libclicsim_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clicsim_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

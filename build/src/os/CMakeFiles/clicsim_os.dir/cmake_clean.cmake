@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clicsim_os.dir/cluster.cpp.o"
+  "CMakeFiles/clicsim_os.dir/cluster.cpp.o.d"
+  "CMakeFiles/clicsim_os.dir/driver.cpp.o"
+  "CMakeFiles/clicsim_os.dir/driver.cpp.o.d"
+  "CMakeFiles/clicsim_os.dir/kernel.cpp.o"
+  "CMakeFiles/clicsim_os.dir/kernel.cpp.o.d"
+  "CMakeFiles/clicsim_os.dir/node.cpp.o"
+  "CMakeFiles/clicsim_os.dir/node.cpp.o.d"
+  "libclicsim_os.a"
+  "libclicsim_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clicsim_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clicsim_pvm.dir/pvm.cpp.o"
+  "CMakeFiles/clicsim_pvm.dir/pvm.cpp.o.d"
+  "libclicsim_pvm.a"
+  "libclicsim_pvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clicsim_pvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clicsim_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/clicsim_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/clicsim_sim.dir/log.cpp.o"
+  "CMakeFiles/clicsim_sim.dir/log.cpp.o.d"
+  "CMakeFiles/clicsim_sim.dir/resource.cpp.o"
+  "CMakeFiles/clicsim_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/clicsim_sim.dir/simulator.cpp.o"
+  "CMakeFiles/clicsim_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/clicsim_sim.dir/stats.cpp.o"
+  "CMakeFiles/clicsim_sim.dir/stats.cpp.o.d"
+  "libclicsim_sim.a"
+  "libclicsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clicsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

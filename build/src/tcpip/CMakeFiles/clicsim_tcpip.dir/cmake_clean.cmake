@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clicsim_tcpip.dir/ip.cpp.o"
+  "CMakeFiles/clicsim_tcpip.dir/ip.cpp.o.d"
+  "CMakeFiles/clicsim_tcpip.dir/tcp.cpp.o"
+  "CMakeFiles/clicsim_tcpip.dir/tcp.cpp.o.d"
+  "CMakeFiles/clicsim_tcpip.dir/udp.cpp.o"
+  "CMakeFiles/clicsim_tcpip.dir/udp.cpp.o.d"
+  "libclicsim_tcpip.a"
+  "libclicsim_tcpip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clicsim_tcpip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

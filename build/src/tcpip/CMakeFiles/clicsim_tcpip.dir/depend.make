@@ -1,0 +1,2 @@
+# Empty dependencies file for clicsim_tcpip.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clicsim_via.dir/via.cpp.o"
+  "CMakeFiles/clicsim_via.dir/via.cpp.o.d"
+  "libclicsim_via.a"
+  "libclicsim_via.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clicsim_via.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

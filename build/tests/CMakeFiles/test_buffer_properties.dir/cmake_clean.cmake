@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_buffer_properties.dir/test_buffer_properties.cpp.o"
+  "CMakeFiles/test_buffer_properties.dir/test_buffer_properties.cpp.o.d"
+  "test_buffer_properties"
+  "test_buffer_properties.pdb"
+  "test_buffer_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_buffer_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

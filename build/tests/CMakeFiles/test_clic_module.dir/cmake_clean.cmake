@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clic_module.dir/test_clic_module.cpp.o"
+  "CMakeFiles/test_clic_module.dir/test_clic_module.cpp.o.d"
+  "test_clic_module"
+  "test_clic_module.pdb"
+  "test_clic_module[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clic_module.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clic_multicast.dir/test_clic_multicast.cpp.o"
+  "CMakeFiles/test_clic_multicast.dir/test_clic_multicast.cpp.o.d"
+  "test_clic_multicast"
+  "test_clic_multicast.pdb"
+  "test_clic_multicast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clic_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

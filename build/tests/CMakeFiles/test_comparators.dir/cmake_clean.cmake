@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comparators.dir/test_comparators.cpp.o"
+  "CMakeFiles/test_comparators.dir/test_comparators.cpp.o.d"
+  "test_comparators"
+  "test_comparators.pdb"
+  "test_comparators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comparators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

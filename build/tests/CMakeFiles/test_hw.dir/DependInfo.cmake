@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_hw.cpp" "tests/CMakeFiles/test_hw.dir/test_hw.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/test_hw.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/clicsim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/via/CMakeFiles/clicsim_via.dir/DependInfo.cmake"
+  "/root/repo/build/src/gamma/CMakeFiles/clicsim_gamma.dir/DependInfo.cmake"
+  "/root/repo/build/src/pvm/CMakeFiles/clicsim_pvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/clicsim_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpip/CMakeFiles/clicsim_tcpip.dir/DependInfo.cmake"
+  "/root/repo/build/src/clic/CMakeFiles/clicsim_clic.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/clicsim_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/clicsim_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/clicsim_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/clicsim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

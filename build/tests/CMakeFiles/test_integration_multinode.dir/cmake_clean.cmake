@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_multinode.dir/test_integration_multinode.cpp.o"
+  "CMakeFiles/test_integration_multinode.dir/test_integration_multinode.cpp.o.d"
+  "test_integration_multinode"
+  "test_integration_multinode.pdb"
+  "test_integration_multinode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

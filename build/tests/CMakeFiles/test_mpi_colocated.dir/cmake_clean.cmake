@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi_colocated.dir/test_mpi_colocated.cpp.o"
+  "CMakeFiles/test_mpi_colocated.dir/test_mpi_colocated.cpp.o.d"
+  "test_mpi_colocated"
+  "test_mpi_colocated.pdb"
+  "test_mpi_colocated[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi_colocated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profiles_failures.dir/test_profiles_failures.cpp.o"
+  "CMakeFiles/test_profiles_failures.dir/test_profiles_failures.cpp.o.d"
+  "test_profiles_failures"
+  "test_profiles_failures.pdb"
+  "test_profiles_failures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profiles_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_reliability.dir/test_property_reliability.cpp.o"
+  "CMakeFiles/test_property_reliability.dir/test_property_reliability.cpp.o.d"
+  "test_property_reliability"
+  "test_property_reliability.pdb"
+  "test_property_reliability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

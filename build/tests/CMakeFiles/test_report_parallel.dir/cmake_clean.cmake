@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_parallel.dir/test_report_parallel.cpp.o"
+  "CMakeFiles/test_report_parallel.dir/test_report_parallel.cpp.o.d"
+  "test_report_parallel"
+  "test_report_parallel.pdb"
+  "test_report_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

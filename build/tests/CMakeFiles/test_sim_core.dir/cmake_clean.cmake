@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_core.dir/test_sim_core.cpp.o"
+  "CMakeFiles/test_sim_core.dir/test_sim_core.cpp.o.d"
+  "test_sim_core"
+  "test_sim_core.pdb"
+  "test_sim_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stacks_smoke.dir/test_stacks_smoke.cpp.o"
+  "CMakeFiles/test_stacks_smoke.dir/test_stacks_smoke.cpp.o.d"
+  "test_stacks_smoke"
+  "test_stacks_smoke.pdb"
+  "test_stacks_smoke[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stacks_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync_primitives.dir/test_sync_primitives.cpp.o"
+  "CMakeFiles/test_sync_primitives.dir/test_sync_primitives.cpp.o.d"
+  "test_sync_primitives"
+  "test_sync_primitives.pdb"
+  "test_sync_primitives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

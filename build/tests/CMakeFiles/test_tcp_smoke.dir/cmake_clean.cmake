@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_smoke.dir/test_tcp_smoke.cpp.o"
+  "CMakeFiles/test_tcp_smoke.dir/test_tcp_smoke.cpp.o.d"
+  "test_tcp_smoke"
+  "test_tcp_smoke.pdb"
+  "test_tcp_smoke[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

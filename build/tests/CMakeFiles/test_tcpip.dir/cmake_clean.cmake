@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcpip.dir/test_tcpip.cpp.o"
+  "CMakeFiles/test_tcpip.dir/test_tcpip.cpp.o.d"
+  "test_tcpip"
+  "test_tcpip.pdb"
+  "test_tcpip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcpip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

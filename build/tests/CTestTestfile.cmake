@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_tcp_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_stacks_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_core[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_hw[1]_include.cmake")
+include("/root/repo/build/tests/test_os[1]_include.cmake")
+include("/root/repo/build/tests/test_clic_channel[1]_include.cmake")
+include("/root/repo/build/tests/test_clic_module[1]_include.cmake")
+include("/root/repo/build/tests/test_tcpip[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi[1]_include.cmake")
+include("/root/repo/build/tests/test_comparators[1]_include.cmake")
+include("/root/repo/build/tests/test_property_reliability[1]_include.cmake")
+include("/root/repo/build/tests/test_calibration[1]_include.cmake")
+include("/root/repo/build/tests/test_clic_multicast[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_multinode[1]_include.cmake")
+include("/root/repo/build/tests/test_report_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_logging[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi_patterns[1]_include.cmake")
+include("/root/repo/build/tests/test_buffer_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_profiles_failures[1]_include.cmake")
+include("/root/repo/build/tests/test_sync_primitives[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi_colocated[1]_include.cmake")
