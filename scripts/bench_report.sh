@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Engine performance tracker: builds Release, runs the engine
+# micro-benchmarks plus one end-to-end figure bench, and writes
+# BENCH_engine.json (schema: [{bench, events_per_sec, wall_ms,
+# sim_events}, ...]) so the perf trajectory is comparable across PRs.
+#
+# Usage: scripts/bench_report.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+FILTER='BM_ScheduleDispatch|BM_Fig5StyleSweep'
+
+cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD" -j"$(nproc)" --target micro_engine fig5_clic_vs_tcp \
+  >/dev/null
+
+"$BUILD/bench/micro_engine" \
+  --benchmark_filter="$FILTER" \
+  --benchmark_min_time=0.2 \
+  --benchmark_format=json > "$BUILD/micro_engine.json"
+
+# Wall-clock of the full fig5 figure harness (ms).
+fig5_start=$(date +%s%N)
+"$BUILD/bench/fig5_clic_vs_tcp" > "$BUILD/fig5_report.txt"
+fig5_end=$(date +%s%N)
+fig5_ms=$(( (fig5_end - fig5_start) / 1000000 ))
+
+python3 - "$BUILD/micro_engine.json" "$fig5_ms" "$ROOT/BENCH_engine.json" \
+  <<'PY'
+import json
+import sys
+
+micro_path, fig5_ms, out_path = sys.argv[1], float(sys.argv[2]), sys.argv[3]
+scale_to_ms = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+rows = []
+with open(micro_path) as f:
+    data = json.load(f)
+for b in data.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    rows.append({
+        "bench": b["name"],
+        "events_per_sec": b.get("items_per_second"),
+        "wall_ms": b["real_time"] * scale_to_ms.get(b.get("time_unit", "ns")),
+        "sim_events": int(b["sim_events"]) if "sim_events" in b else None,
+    })
+rows.append({
+    "bench": "fig5_clic_vs_tcp",
+    "events_per_sec": None,
+    "wall_ms": fig5_ms,
+    "sim_events": None,
+})
+with open(out_path, "w") as f:
+    json.dump(rows, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path} ({len(rows)} rows)")
+PY

@@ -26,8 +26,11 @@ void Channel::transmit(Packet& packet) {
 
 std::uint32_t Channel::take_piggyback_ack() {
   acks_owed_ = 0;
-  ++ack_timer_generation_;  // cancel any pending delayed pure ack
-  ack_timer_armed_ = false;
+  // Cancel any pending delayed pure ack — this packet carries it.
+  if (ack_timer_ != os::Kernel::kInvalidTimer) {
+    ops_->kernel().cancel_timer(ack_timer_);
+    ack_timer_ = os::Kernel::kInvalidTimer;
+  }
   return rx_next_;
 }
 
@@ -52,23 +55,21 @@ void Channel::process_ack(std::uint32_t ack) {
   if (!advanced) return;
   tx_base_ = ack;
   // Fresh progress: restart the retransmission clock.
-  ++rto_generation_;
-  rto_armed_ = false;
+  if (rto_timer_ != os::Kernel::kInvalidTimer) {
+    ops_->kernel().cancel_timer(rto_timer_);
+    rto_timer_ = os::Kernel::kInvalidTimer;
+  }
   if (!unacked_.empty()) arm_rto();
   drain_pending();
 }
 
 void Channel::arm_rto() {
-  if (rto_armed_) return;
-  rto_armed_ = true;
-  const std::uint64_t generation = ++rto_generation_;
-  ops_->kernel().add_timer(config_->rto,
-                           [this, generation] { rto_expired(generation); });
+  if (rto_timer_ != os::Kernel::kInvalidTimer) return;
+  rto_timer_ = ops_->kernel().add_timer(config_->rto, [this] { rto_expired(); });
 }
 
-void Channel::rto_expired(std::uint64_t generation) {
-  if (generation != rto_generation_) return;
-  rto_armed_ = false;
+void Channel::rto_expired() {
+  rto_timer_ = os::Kernel::kInvalidTimer;
   if (unacked_.empty()) return;
   // Selective repeat of the oldest outstanding packet; the reorder buffer
   // on the far side keeps later arrivals.
@@ -126,12 +127,9 @@ void Channel::note_ack_owed(bool immediate) {
     send_pure_ack();
     return;
   }
-  if (!ack_timer_armed_) {
-    ack_timer_armed_ = true;
-    const std::uint64_t generation = ++ack_timer_generation_;
-    ops_->kernel().add_timer(config_->ack_delay, [this, generation] {
-      if (generation != ack_timer_generation_) return;
-      ack_timer_armed_ = false;
+  if (ack_timer_ == os::Kernel::kInvalidTimer) {
+    ack_timer_ = ops_->kernel().add_timer(config_->ack_delay, [this] {
+      ack_timer_ = os::Kernel::kInvalidTimer;
       if (acks_owed_ > 0) send_pure_ack();
     });
   }
@@ -139,8 +137,10 @@ void Channel::note_ack_owed(bool immediate) {
 
 void Channel::send_pure_ack() {
   acks_owed_ = 0;
-  ++ack_timer_generation_;
-  ack_timer_armed_ = false;
+  if (ack_timer_ != os::Kernel::kInvalidTimer) {
+    ops_->kernel().cancel_timer(ack_timer_);
+    ack_timer_ = os::Kernel::kInvalidTimer;
+  }
   ++acks_sent_;
   ClicHeader h;
   h.type = PacketType::kInternal;

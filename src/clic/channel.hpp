@@ -89,7 +89,7 @@ class Channel {
   void drain_pending();
   void process_ack(std::uint32_t ack);
   void arm_rto();
-  void rto_expired(std::uint64_t generation);
+  void rto_expired();
   void note_ack_owed(bool immediate);
   void send_pure_ack();
 
@@ -97,20 +97,20 @@ class Channel {
   ChannelOps* ops_;
   int peer_;
 
-  // TX state.
+  // TX state. The retransmit timer is a cancellable kernel (wheel) timer:
+  // fresh ack progress cancels and re-arms it instead of bumping a
+  // generation counter and stranding the superseded closure.
   std::uint32_t next_seq_ = 0;
   std::uint32_t tx_base_ = 0;  // oldest unacknowledged sequence
   std::map<std::uint32_t, Unacked> unacked_;
   std::deque<Unacked> pending_;  // waiting for window space
-  std::uint64_t rto_generation_ = 0;
-  bool rto_armed_ = false;
+  os::Kernel::TimerId rto_timer_ = os::Kernel::kInvalidTimer;
 
   // RX state.
   std::uint32_t rx_next_ = 0;
   std::map<std::uint32_t, Packet> reorder_;
   int acks_owed_ = 0;
-  std::uint64_t ack_timer_generation_ = 0;
-  bool ack_timer_armed_ = false;
+  os::Kernel::TimerId ack_timer_ = os::Kernel::kInvalidTimer;
 
   std::uint64_t retransmits_ = 0;
   std::uint64_t duplicates_ = 0;

@@ -5,8 +5,7 @@
 
 namespace clicsim::hw {
 
-void DmaEngine::transfer(std::int64_t bytes, int fragments,
-                         std::function<void()> done,
+void DmaEngine::transfer(std::int64_t bytes, int fragments, sim::Action done,
                          sim::SimTime overlap_credit) {
   ++transfers_;
   bytes_ += bytes;

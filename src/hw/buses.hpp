@@ -15,17 +15,21 @@
 #include <string>
 
 #include "hw/params.hpp"
+#include "sim/inline_function.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
 namespace clicsim::hw {
 
-// Invokes `done` once `count` completions have arrived.
-inline std::function<void()> make_join(int count, std::function<void()> done) {
+// Invokes `done` once `count` completions have arrived. Returns a copyable
+// std::function on purpose — the join is handed to several parties; each
+// copy converts to a sim::Action (16-byte shared_ptr capture) at the point
+// of use.
+inline std::function<void()> make_join(int count, sim::Action done) {
   struct State {
     int remaining;
-    std::function<void()> done;
+    sim::Action done;
   };
   auto state = std::make_shared<State>(State{count, std::move(done)});
   return [state] {
@@ -40,7 +44,7 @@ class MemoryBus {
         res_(sim, std::move(name)) {}
 
   // Occupies the bus for `bytes` of raw traffic; optional completion.
-  sim::SimTime traffic(std::int64_t bytes, std::function<void()> done = {}) {
+  sim::SimTime traffic(std::int64_t bytes, sim::Action done = {}) {
     return res_.submit(sim::transfer_time(bytes, bytes_per_s_),
                        std::move(done));
   }
@@ -74,7 +78,7 @@ class PciBus {
   }
 
   // Queues a bus transaction; `done` fires when it completes.
-  void transfer(sim::SimTime occupancy, std::function<void()> done = {}) {
+  void transfer(sim::SimTime occupancy, sim::Action done = {}) {
     res_.submit(occupancy, std::move(done));
   }
 
@@ -109,7 +113,7 @@ class DmaEngine {
   // another pipeline stage (a receiving card DMAs the frame to host memory
   // while it is still arriving off the wire): the busses stay occupied for
   // the full durations, but completion is advanced by up to `credit`.
-  void transfer(std::int64_t bytes, int fragments, std::function<void()> done,
+  void transfer(std::int64_t bytes, int fragments, sim::Action done,
                 sim::SimTime overlap_credit = 0);
 
   [[nodiscard]] std::uint64_t transfers() const { return transfers_; }

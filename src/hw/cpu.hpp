@@ -4,10 +4,10 @@
 // within an item (see sim::PriorityResource).
 #pragma once
 
-#include <functional>
 #include <string>
 
 #include "hw/params.hpp"
+#include "sim/inline_function.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
 
@@ -20,14 +20,14 @@ class Cpu {
 
   // Queues `duration` of work at `prio`; `done` runs when it completes.
   void run(sim::CpuPriority prio, sim::SimTime duration,
-           std::function<void()> done = {}) {
+           sim::Action done = {}) {
     res_.submit(prio, duration, std::move(done));
   }
 
   // Runs ahead of everything already queued at `prio` — a continuation of
   // the currently-executing item (inline ack emission and the like).
   void run_next(sim::CpuPriority prio, sim::SimTime duration,
-                std::function<void()> done = {}) {
+                sim::Action done = {}) {
     res_.submit_front(prio, duration, std::move(done));
   }
 

@@ -5,8 +5,7 @@
 
 namespace clicsim::hw {
 
-void InterruptController::register_handler(int irq,
-                                           std::function<void()> handler) {
+void InterruptController::register_handler(int irq, sim::Action handler) {
   lines_.at(static_cast<std::size_t>(irq)).handler = std::move(handler);
 }
 
@@ -28,9 +27,10 @@ void InterruptController::dispatch(int irq) {
   }
   ++line.delivered;
   sim_->after(cpu_->params().irq_dispatch, [this, irq] {
-    Line& l = lines_[static_cast<std::size_t>(irq)];
+    // The registered handler is move-only and stays on the line; invoke it
+    // by reference when the ISR prologue finishes.
     cpu_->run(sim::CpuPriority::kInterrupt, cpu_->params().isr_entry,
-              [handler = l.handler] { handler(); });
+              [this, irq] { lines_[static_cast<std::size_t>(irq)].handler(); });
   });
 }
 

@@ -5,10 +5,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "hw/cpu.hpp"
+#include "sim/inline_function.hpp"
 #include "sim/simulator.hpp"
 
 namespace clicsim::hw {
@@ -23,7 +23,7 @@ class InterruptController {
   // The handler runs at interrupt priority after the dispatch latency and
   // the ISR prologue cost. It must call `eoi(irq)` when the ISR logically
   // completes (possibly after charging further CPU work).
-  void register_handler(int irq, std::function<void()> handler);
+  void register_handler(int irq, sim::Action handler);
 
   void raise(int irq);
   void eoi(int irq);
@@ -37,7 +37,7 @@ class InterruptController {
 
  private:
   struct Line {
-    std::function<void()> handler;
+    sim::Action handler;
     bool active = false;   // ISR dispatched, EOI not yet received
     bool pending = false;  // raised while active
     std::uint64_t raised = 0;

@@ -17,6 +17,7 @@ Nic::Nic(sim::Simulator& sim, NicProfile profile, PciBus& pci, MemoryBus& mem,
       mac_(mac),
       name_(std::move(name)),
       mtu_(profile_.max_mtu),
+      coalesce_wheel_(sim),
       coalesce_usecs_(profile_.coalesce_usecs),
       coalesce_frames_(profile_.coalesce_frames) {}
 
@@ -55,18 +56,22 @@ bool Nic::post_tx(TxRequest request) {
 
   ++tx_in_flight_;
   const std::int64_t dma_bytes = request.frame.frame_bytes();
-  dma_.transfer(
-      dma_bytes, request.sg_fragments,
-      [this, frame = std::move(request.frame),
-       done = std::move(request.on_descriptor_done)]() mutable {
-        --tx_in_flight_;
-        if (done) done();
-        sim_->after(profile_.tx_fifo_latency,
-                    [this, frame = std::move(frame)]() mutable {
-                      transmit_wire_frames(std::move(frame));
-                    });
-      });
+  tx_inflight_.push_back(TxInFlight{std::move(request.frame),
+                                    std::move(request.on_descriptor_done)});
+  dma_.transfer(dma_bytes, request.sg_fragments,
+                [this] { tx_dma_complete(); });
   return true;
+}
+
+void Nic::tx_dma_complete() {
+  TxInFlight tx = std::move(tx_inflight_.front());
+  tx_inflight_.pop_front();
+  --tx_in_flight_;
+  if (tx.done) tx.done();
+  sim_->after(profile_.tx_fifo_latency,
+              [this, frame = std::move(tx.frame)]() mutable {
+                transmit_wire_frames(std::move(frame));
+              });
 }
 
 void Nic::post_tx_pio(net::Frame frame) {
@@ -270,12 +275,9 @@ void Nic::coalesce_on_frame() {
     fire_interrupt();
     return;
   }
-  if (!timer_armed_) {
-    timer_armed_ = true;
-    const std::uint64_t gen = ++timer_gen_;
-    sim_->at(due, [this, gen] {
-      if (gen != timer_gen_) return;  // superseded by an earlier fire
-      timer_armed_ = false;
+  if (coalesce_timer_ == sim::TimerWheel::kInvalidTimer) {
+    coalesce_timer_ = coalesce_wheel_.schedule_at(due, [this] {
+      coalesce_timer_ = sim::TimerWheel::kInvalidTimer;
       if (pending_frames_ > 0) fire_interrupt();
     });
   }
@@ -283,8 +285,10 @@ void Nic::coalesce_on_frame() {
 
 void Nic::fire_interrupt() {
   pending_frames_ = 0;
-  ++timer_gen_;  // cancels any armed timer
-  timer_armed_ = false;
+  if (coalesce_timer_ != sim::TimerWheel::kInvalidTimer) {
+    coalesce_wheel_.cancel(coalesce_timer_);
+    coalesce_timer_ = sim::TimerWheel::kInvalidTimer;
+  }
   last_fire_ = sim_->now();
   ++irqs_fired_;
   intc_->raise(irq_);

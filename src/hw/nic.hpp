@@ -33,7 +33,9 @@
 #include "hw/params.hpp"
 #include "net/frame.hpp"
 #include "net/link.hpp"
+#include "sim/inline_function.hpp"
 #include "sim/simulator.hpp"
+#include "sim/timer_wheel.hpp"
 
 namespace clicsim::hw {
 
@@ -53,8 +55,10 @@ class Nic : public net::FrameSink {
   struct TxRequest {
     net::Frame frame;
     int sg_fragments = 1;  // scatter/gather elements describing host memory
-    // Fires when the descriptor completes (host buffers reusable).
-    std::function<void()> on_descriptor_done;
+    // Fires when the descriptor completes (host buffers reusable). 120 bytes
+    // of inline room: the driver's completion wrapper captures `this` plus a
+    // full-size sim::Action and must not spill to the heap per frame.
+    sim::InlineFunction<120> on_descriptor_done;
   };
 
   Nic(sim::Simulator& sim, NicProfile profile, PciBus& pci, MemoryBus& mem,
@@ -126,6 +130,7 @@ class Nic : public net::FrameSink {
 
  private:
   void transmit_wire_frames(net::Frame frame);
+  void tx_dma_complete();
   void accept_rx(net::Frame frame);
   void coalesce_on_frame();
   void fire_interrupt();
@@ -148,13 +153,23 @@ class Nic : public net::FrameSink {
   std::function<void(net::Frame)> rx_bypass_;
   std::unordered_set<net::MacAddr, net::MacAddrHash> multicast_groups_;
 
-  // Coalescing state.
+  // Frames whose descriptor DMA is in flight, in posting order. PCI and
+  // memory-bus service are FIFO, so DMA completions arrive in posting order
+  // too and the completion event needs to capture only `this`.
+  struct TxInFlight {
+    net::Frame frame;
+    sim::InlineFunction<120> done;
+  };
+  std::deque<TxInFlight> tx_inflight_;
+
+  // Coalescing state. The hold-off timer lives on a wheel so re-arming
+  // after every interrupt does not strand tombstone events in the heap.
+  sim::TimerWheel coalesce_wheel_;
   sim::SimTime coalesce_usecs_;
   int coalesce_frames_;
   int pending_frames_ = 0;
   sim::SimTime last_fire_ = -1;
-  std::uint64_t timer_gen_ = 0;
-  bool timer_armed_ = false;
+  sim::TimerWheel::TimerId coalesce_timer_ = sim::TimerWheel::kInvalidTimer;
 
   // Firmware reassembly state.
   struct Reassembly {

@@ -36,7 +36,7 @@ int Link::check_end(int end) {
 
 void Link::attach(int end, FrameSink* sink) { sinks_[check_end(end)] = sink; }
 
-void Link::send(int end, Frame frame, std::function<void()> on_serialized,
+void Link::send(int end, Frame frame, sim::Action on_serialized,
                 sim::SimTime delivery_credit) {
   check_end(end);
   Direction& dir = directions_[end];

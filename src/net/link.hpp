@@ -7,11 +7,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <set>
 #include <string>
 
 #include "net/frame.hpp"
+#include "sim/inline_function.hpp"
 #include "sim/random.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
@@ -72,7 +72,7 @@ class Link {
   // occupied for the full serialization time, but delivery to the far end
   // is advanced by up to the credit (never before the send could have
   // started).
-  void send(int end, Frame frame, std::function<void()> on_serialized = {},
+  void send(int end, Frame frame, sim::Action on_serialized = {},
             sim::SimTime delivery_credit = 0);
 
   // Serialization time of `frame` at this link's line rate.

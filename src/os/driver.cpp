@@ -15,12 +15,12 @@ void Driver::add_protocol(std::uint16_t ethertype, ProtocolHandler* handler) {
   protocols_[ethertype] = handler;
 }
 
-bool Driver::post(SkBuff&& skb, std::function<void()> on_done) {
+bool Driver::post(SkBuff&& skb, sim::Action on_done) {
   if (nic_->tx_ring_full()) return false;
   hw::Nic::TxRequest req;
   req.frame = skb.to_frame();
   req.sg_fragments = skb.sg_fragments;
-  req.on_descriptor_done = [this, on_done = std::move(on_done)] {
+  req.on_descriptor_done = [this, on_done = std::move(on_done)]() mutable {
     if (on_done) on_done();
     kick_tx_queue();
   };
@@ -32,11 +32,11 @@ bool Driver::post(SkBuff&& skb, std::function<void()> on_done) {
   return true;
 }
 
-bool Driver::try_xmit(SkBuff skb, std::function<void()> on_done) {
+bool Driver::try_xmit(SkBuff skb, sim::Action on_done) {
   return post(std::move(skb), std::move(on_done));
 }
 
-void Driver::xmit_or_queue(SkBuff skb, std::function<void()> on_done) {
+void Driver::xmit_or_queue(SkBuff skb, sim::Action on_done) {
   if (!tx_queue_.empty() || nic_->tx_ring_full()) {
     tx_queue_.push_back(PendingTx{std::move(skb), std::move(on_done)});
     return;

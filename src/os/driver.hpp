@@ -15,13 +15,13 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <unordered_map>
 
 #include "hw/interrupt.hpp"
 #include "hw/nic.hpp"
 #include "os/kernel.hpp"
 #include "os/skbuff.hpp"
+#include "sim/inline_function.hpp"
 
 namespace clicsim::os {
 
@@ -46,11 +46,11 @@ class Driver {
   // is full — the caller decides what to do (CLIC stages the data in system
   // memory; see section 3.1). `on_done` fires when the descriptor completes
   // and the skb's memory is reusable.
-  bool try_xmit(SkBuff skb, std::function<void()> on_done = {});
+  bool try_xmit(SkBuff skb, sim::Action on_done = {});
 
   // Transmit with driver-level queueing (the qdisc path TCP/IP uses):
   // always accepts, retries queued skbs as descriptors complete.
-  void xmit_or_queue(SkBuff skb, std::function<void()> on_done = {});
+  void xmit_or_queue(SkBuff skb, sim::Action on_done = {});
 
   void set_direct_dispatch(bool enabled) { direct_dispatch_ = enabled; }
   [[nodiscard]] bool direct_dispatch() const { return direct_dispatch_; }
@@ -65,7 +65,7 @@ class Driver {
   void rx_isr();
   void drain_one();
   void kick_tx_queue();
-  bool post(SkBuff&& skb, std::function<void()> on_done);
+  bool post(SkBuff&& skb, sim::Action on_done);
 
   sim::Simulator* sim_;
   Kernel* kernel_;
@@ -76,7 +76,7 @@ class Driver {
 
   struct PendingTx {
     SkBuff skb;
-    std::function<void()> on_done;
+    sim::Action on_done;
   };
   std::deque<PendingTx> tx_queue_;
 

@@ -4,7 +4,7 @@
 
 namespace clicsim::os {
 
-void Kernel::queue_bottom_half(std::function<void()> fn) {
+void Kernel::queue_bottom_half(sim::Action fn) {
   bh_queue_.push_back(std::move(fn));
   if (!bh_scheduled_) {
     bh_scheduled_ = true;
@@ -29,30 +29,18 @@ void Kernel::run_bottom_halves() {
   cpu_->run(sim::CpuPriority::kSoftirq, 0, [this] { run_bottom_halves(); });
 }
 
-Kernel::TimerId Kernel::add_timer(sim::SimTime delay,
-                                  std::function<void()> fn) {
-  const TimerId id = next_timer_++;
-  sim_->after(delay, [this, id, fn = std::move(fn)] {
-    if (cancelled_.erase(id) > 0) return;
-    fn();
-  });
-  return id;
-}
-
-void Kernel::cancel_timer(TimerId id) { cancelled_.insert(id); }
-
-void Kernel::syscall(std::function<void()> body) {
+void Kernel::syscall(sim::Action body) {
   ++syscalls_;
   cpu_->run(sim::CpuPriority::kKernel, cpu_->params().syscall_enter,
             std::move(body));
 }
 
-void Kernel::syscall_return(std::function<void()> back_in_user) {
+void Kernel::syscall_return(sim::Action back_in_user) {
   cpu_->run(sim::CpuPriority::kKernel, cpu_->params().syscall_exit,
             std::move(back_in_user));
 }
 
-void Kernel::light_syscall(std::function<void()> body) {
+void Kernel::light_syscall(sim::Action body) {
   ++syscalls_;
   // GAMMA-style: roughly a third of the full trap cost, no scheduler pass.
   cpu_->run(sim::CpuPriority::kKernel, cpu_->params().syscall_enter / 3,

@@ -4,42 +4,53 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
-#include <unordered_set>
 
 #include "hw/cpu.hpp"
+#include "sim/inline_function.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
+#include "sim/timer_wheel.hpp"
 
 namespace clicsim::os {
 
 class Kernel {
  public:
-  Kernel(sim::Simulator& sim, hw::Cpu& cpu) : sim_(&sim), cpu_(&cpu) {}
+  Kernel(sim::Simulator& sim, hw::Cpu& cpu)
+      : sim_(&sim), cpu_(&cpu), wheel_(sim) {}
 
   // --- Bottom halves -------------------------------------------------------
   // Queues `fn` to run in softirq context: after the ISR completes, the
   // kernel pays the dispatch cost at softirq priority and invokes `fn`
   // (which charges its own processing time at softirq priority).
-  void queue_bottom_half(std::function<void()> fn);
+  void queue_bottom_half(sim::Action fn);
 
   [[nodiscard]] std::uint64_t bottom_halves_run() const { return bh_run_; }
 
   // --- Timers ---------------------------------------------------------------
-  using TimerId = std::uint64_t;
-  TimerId add_timer(sim::SimTime delay, std::function<void()> fn);
-  void cancel_timer(TimerId id);
+  // Backed by a hierarchical timer wheel: cancel_timer() destroys the
+  // closure in O(1) instead of leaving a tombstone event in the heap.
+  using TimerId = sim::TimerWheel::TimerId;
+  static constexpr TimerId kInvalidTimer = sim::TimerWheel::kInvalidTimer;
+
+  TimerId add_timer(sim::SimTime delay, sim::Action fn) {
+    return wheel_.schedule(delay, std::move(fn));
+  }
+  void cancel_timer(TimerId id) { wheel_.cancel(id); }
+  [[nodiscard]] bool timer_pending(TimerId id) const {
+    return wheel_.pending(id);
+  }
+  [[nodiscard]] const sim::TimerWheel& timer_wheel() const { return wheel_; }
 
   // --- System calls ----------------------------------------------------------
   // Charges the kernel-entry cost (INT 80h path) at kernel priority, then
   // runs `body` in kernel context. The matching exit cost is charged by
   // syscall_return.
-  void syscall(std::function<void()> body);
-  void syscall_return(std::function<void()> back_in_user = {});
+  void syscall(sim::Action body);
+  void syscall_return(sim::Action back_in_user = {});
 
   // Lightweight system call (GAMMA-style): reduced entry cost and no
   // scheduler involvement on return.
-  void light_syscall(std::function<void()> body);
+  void light_syscall(sim::Action body);
 
   [[nodiscard]] std::uint64_t syscalls() const { return syscalls_; }
 
@@ -51,11 +62,10 @@ class Kernel {
 
   sim::Simulator* sim_;
   hw::Cpu* cpu_;
-  std::deque<std::function<void()>> bh_queue_;
+  sim::TimerWheel wheel_;
+  std::deque<sim::Action> bh_queue_;
   bool bh_scheduled_ = false;
   std::uint64_t bh_run_ = 0;
-  std::uint64_t next_timer_ = 1;
-  std::unordered_set<TimerId> cancelled_;
   std::uint64_t syscalls_ = 0;
 };
 

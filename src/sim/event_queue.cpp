@@ -1,24 +1,35 @@
 #include "sim/event_queue.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 namespace clicsim::sim {
 
-void EventQueue::push(SimTime t, Action action) {
-  heap_.push(Entry{t, next_seq_++, std::move(action)});
+std::uint32_t EventQueue::acquire_slot_slow() {
+  if (slab_size_ > kSlotMask) {
+    throw std::length_error("EventQueue: more than 2^24 pending events");
+  }
+  if ((slab_size_ >> kChunkBits) == chunks_.size()) {
+    chunks_.push_back(std::make_unique<Action[]>(kChunkSize));
+  }
+  return slab_size_++;
 }
 
-SimTime EventQueue::next_time() const {
-  return heap_.empty() ? kNever : heap_.top().time;
+void EventQueue::do_push(SimTime t, std::uint64_t seq, Action action) {
+  const std::uint32_t slot = acquire_slot();
+  slot_ref(slot) = std::move(action);
+  insert_handle(t, seq, slot);
 }
 
 EventQueue::Event EventQueue::pop() {
-  // std::priority_queue::top() is const; the action must be moved out, so we
-  // cast away constness of the popped entry. The entry is removed right
-  // after, so no observer can see the moved-from state.
-  auto& top = const_cast<Entry&>(heap_.top());
-  Event ev{top.time, std::move(top.action)};
-  heap_.pop();
+  const Handle top = heap_[0];
+  const auto slot = static_cast<std::uint32_t>(top.seq_slot & kSlotMask);
+  Event ev{top.time, std::move(slot_ref(slot))};
+  free_.push_back(slot);
+
+  const Handle last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0, last);
   return ev;
 }
 

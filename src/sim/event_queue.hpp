@@ -3,29 +3,66 @@
 // Events scheduled for the same instant execute in insertion order (a
 // monotonically increasing sequence number breaks ties), which makes every
 // simulation run bit-reproducible for a given seed and parameter set.
+//
+// Layout: the heap orders 16-byte POD handles {time, seq|slot} in an
+// index-based 4-ary min-heap, while the callbacks live in a recycling slab
+// addressed by the handle's slot bits. Sift operations therefore move two
+// machine words per level instead of entries carrying a type-erased
+// callable, and slab slots are reused through a free list so a simulation
+// in steady state performs no allocation per event.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
+#include "sim/inline_function.hpp"
 #include "sim/time.hpp"
 
 namespace clicsim::sim {
 
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = sim::Action;
 
   // Schedules `action` at absolute time `t`.
-  void push(SimTime t, Action action);
+  void push(SimTime t, Action action) { do_push(t, next_seq_++, std::move(action)); }
+
+  // Emplace variants: the callable is constructed directly in its slab
+  // slot, avoiding the intermediate InlineFunction materialization and
+  // relocation that the by-value `push` overloads pay per hand-off.
+  template <typename F>
+  void emplace(SimTime t, F&& f) {
+    emplace_reserved(t, next_seq_++, std::forward<F>(f));
+  }
+
+  template <typename F>
+  void emplace_reserved(SimTime t, std::uint64_t seq, F&& f) {
+    const std::uint32_t slot = acquire_slot();
+    slot_ref(slot) = std::forward<F>(f);
+    insert_handle(t, seq, slot);
+  }
+
+  // Draws the sequence number the next push would use without scheduling
+  // anything. The timer wheel reserves a sequence per timer at arm time and
+  // replays it through push_reserved at dispatch, so a timer fires with the
+  // same same-instant tie-break rank as a plain event scheduled when the
+  // timer was armed.
+  [[nodiscard]] std::uint64_t reserve_seq() { return next_seq_++; }
+
+  // Schedules `action` at `t` with a sequence from reserve_seq(). Each
+  // reserved sequence may be in the queue at most once at a time.
+  void push_reserved(SimTime t, std::uint64_t seq, Action action) {
+    do_push(t, seq, std::move(action));
+  }
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
   // Time of the earliest pending event; kNever when empty.
-  [[nodiscard]] SimTime next_time() const;
+  [[nodiscard]] SimTime next_time() const {
+    return heap_.empty() ? kNever : heap_[0].time;
+  }
 
   // Removes and returns the earliest event. Precondition: !empty().
   struct Event {
@@ -34,23 +71,131 @@ class EventQueue {
   };
   Event pop();
 
+  // Removes the earliest event and runs its callback *in place* in the
+  // slab — the simulator's dispatch path. Skipping the move-out saves a
+  // relocation + destruction per event; it is safe because slab chunks
+  // never move, so callbacks pushed from inside the running callback cannot
+  // invalidate its storage. Precondition: !empty().
+  void run_earliest() {
+    const Handle top = heap_[0];
+    const auto slot = static_cast<std::uint32_t>(top.seq_slot & kSlotMask);
+
+    const Handle last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0, last);
+
+    // The slot is recycled only after the callback returns, so a push from
+    // inside the callback cannot overwrite the executing closure.
+    Action& action = slot_ref(slot);
+    action();
+    action = nullptr;
+    free_.push_back(slot);
+  }
+
   // Total events ever pushed (for engine micro-benchmarks / diagnostics).
   [[nodiscard]] std::uint64_t pushed() const { return next_seq_; }
 
  private:
-  struct Entry {
+  // 16-byte heap handle. The low kSlotBits of `seq_slot` address the slab
+  // slot holding the callback; the high bits carry the insertion sequence.
+  // Sequence numbers are unique, so comparing the packed word compares the
+  // sequence (slot bits can never decide), which keeps the same-time
+  // tie-break a single integer comparison. The packing bounds one queue at
+  // 2^40 (~10^12) lifetime events and 2^24 concurrently pending ones.
+  struct Handle {
     SimTime time;
-    std::uint64_t seq;
-    Action action;
+    std::uint64_t seq_slot;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  static constexpr unsigned kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  static bool earlier(const Handle& a, const Handle& b) {
+#ifdef __SIZEOF_INT128__
+    // Branch-free lexicographic (time, seq) compare: fold the handle into
+    // one signed 128-bit key. Event times are effectively random, so the
+    // short-circuit form mispredicts on nearly every sift step; the folded
+    // compare is a cmp/sbb pair with no branch at all.
+    const auto ka = (static_cast<__int128>(a.time) << 64) |
+                    static_cast<unsigned __int128>(a.seq_slot);
+    const auto kb = (static_cast<__int128>(b.time) << 64) |
+                    static_cast<unsigned __int128>(b.seq_slot);
+    return ka < kb;
+#else
+    return a.time < b.time ||
+           (a.time == b.time && a.seq_slot < b.seq_slot);
+#endif
+  }
+
+  // The slab is chunked so slots have stable addresses: growth appends a
+  // chunk instead of reallocating (which would relocate every pending
+  // callback — and dangle the one executing in place in run_earliest).
+  static constexpr unsigned kChunkBits = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkBits;
+
+  [[nodiscard]] Action& slot_ref(std::uint32_t slot) {
+    return chunks_[slot >> kChunkBits][slot & (kChunkSize - 1)];
+  }
+
+  std::uint32_t acquire_slot() {
+    if (!free_.empty()) {
+      const std::uint32_t slot = free_.back();
+      free_.pop_back();
+      return slot;
+    }
+    return acquire_slot_slow();
+  }
+  std::uint32_t acquire_slot_slow();  // grows the slab (cold path)
+
+  void do_push(SimTime t, std::uint64_t seq, Action action);
+
+  void insert_handle(SimTime t, std::uint64_t seq, std::uint32_t slot) {
+    const std::uint64_t seq_slot = (seq << kSlotBits) | slot;
+    heap_.emplace_back();  // hole; sift_up fills it
+    sift_up(heap_.size() - 1, Handle{t, seq_slot});
+  }
+
+  void sift_up(std::size_t i, Handle h) {
+    Handle* a = heap_.data();
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!earlier(h, a[parent])) break;
+      a[i] = a[parent];
+      i = parent;
+    }
+    a[i] = h;
+  }
+
+  void sift_down(std::size_t i, Handle h) {
+    const std::size_t n = heap_.size();
+    Handle* a = heap_.data();
+    for (;;) {
+      const std::size_t first = (i << 2) + 1;
+      std::size_t best;
+      if (first + 3 < n) {
+        // Full fan-out: pairwise min keeps the scan short-circuit-free.
+        const std::size_t b0 = first + (earlier(a[first + 1], a[first]) ? 1 : 0);
+        const std::size_t b1 =
+            first + 2 + (earlier(a[first + 3], a[first + 2]) ? 1 : 0);
+        best = earlier(a[b1], a[b0]) ? b1 : b0;
+      } else if (first < n) {
+        best = first;
+        for (std::size_t c = first + 1; c < n; ++c) {
+          if (earlier(a[c], a[best])) best = c;
+        }
+      } else {
+        break;
+      }
+      if (!earlier(a[best], h)) break;
+      a[i] = a[best];
+      i = best;
+    }
+    a[i] = h;
+  }
+
+  std::vector<Handle> heap_;  // 4-ary min-heap of handles
+  std::vector<std::unique_ptr<Action[]>> chunks_;  // slab, by slot
+  std::uint32_t slab_size_ = 0;       // slots handed out so far
+  std::vector<std::uint32_t> free_;   // recycled slab slots
   std::uint64_t next_seq_ = 0;
 };
 

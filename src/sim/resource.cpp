@@ -6,7 +6,7 @@
 
 namespace clicsim::sim {
 
-SimTime FifoResource::submit(SimTime duration, std::function<void()> done) {
+SimTime FifoResource::submit(SimTime duration, Action done) {
   if (duration < 0) {
     throw std::logic_error("FifoResource::submit: negative duration");
   }
@@ -26,44 +26,45 @@ double FifoResource::utilization() const {
 }
 
 void PriorityResource::submit(CpuPriority prio, SimTime duration,
-                              std::function<void()> done) {
+                              Action done) {
   if (duration < 0) {
     throw std::logic_error("PriorityResource::submit: negative duration");
   }
-  queue_.push(Item{static_cast<int>(prio), next_seq_++, duration,
-                   std::move(done)});
+  queues_[static_cast<int>(prio)].push_back(Item{duration, std::move(done)});
   if (!busy_) start_next();
 }
 
 void PriorityResource::submit_front(CpuPriority prio, SimTime duration,
-                                    std::function<void()> done) {
+                                    Action done) {
   if (duration < 0) {
     throw std::logic_error("PriorityResource::submit_front: negative duration");
   }
-  queue_.push(Item{static_cast<int>(prio), front_seq_--, duration,
-                   std::move(done)});
+  queues_[static_cast<int>(prio)].push_front(Item{duration, std::move(done)});
   if (!busy_) start_next();
 }
 
 void PriorityResource::start_next() {
-  if (queue_.empty()) {
+  int prio = 0;
+  while (prio < kCpuPriorityCount && queues_[prio].empty()) ++prio;
+  if (prio == kCpuPriorityCount) {
     busy_ = false;
     return;
   }
   busy_ = true;
-  // Move the item out of the const top (removed immediately after).
-  auto& top = const_cast<Item&>(queue_.top());
-  Item item{top.prio, top.seq, top.duration, std::move(top.done)};
-  queue_.pop();
+  Item item = std::move(queues_[prio].front());
+  queues_[prio].pop_front();
 
   total_busy_ns_ += item.duration;
-  busy_ns_[item.prio] += item.duration;
+  busy_ns_[prio] += item.duration;
 
-  sim_->after(item.duration,
-              [this, done = std::move(item.done)]() mutable {
-                if (done) done();
-                start_next();
-              });
+  running_done_ = std::move(item.done);
+  sim_->after(item.duration, [this] { finish_current(); });
+}
+
+void PriorityResource::finish_current() {
+  Action done = std::move(running_done_);
+  if (done) done();
+  start_next();
 }
 
 double PriorityResource::utilization() const {

@@ -10,11 +10,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <deque>
 #include <string>
-#include <vector>
 
+#include "sim/inline_function.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
@@ -31,7 +30,7 @@ class FifoResource {
   // Occupies the resource for `duration` starting when it becomes free;
   // `done` (optional) runs at completion.
   // Returns the completion time.
-  SimTime submit(SimTime duration, std::function<void()> done = {});
+  SimTime submit(SimTime duration, Action done = {});
 
   [[nodiscard]] SimTime free_at() const { return free_at_; }
   [[nodiscard]] bool idle() const { return free_at_ <= sim_->now(); }
@@ -62,6 +61,12 @@ inline constexpr int kCpuPriorityCount = 4;
 // Non-preemptive priority-ordered serial resource (the per-node CPU).
 // When the resource is free the highest-priority pending item starts and
 // runs to completion; same-priority items run in submission order.
+//
+// One FIFO deque per priority class replaces the former fat-entry
+// priority_queue: dispatch picks the highest non-empty class in O(1), and
+// the queued completion closures are never sifted, only moved once in and
+// once out. The running item's closure parks in a member slot so the
+// simulator event that completes it captures nothing but `this`.
 class PriorityResource {
  public:
   PriorityResource(Simulator& sim, std::string name)
@@ -69,18 +74,20 @@ class PriorityResource {
 
   // Queues `duration` of work at `prio`; `done` runs when the work item
   // finishes executing.
-  void submit(CpuPriority prio, SimTime duration,
-              std::function<void()> done = {});
+  void submit(CpuPriority prio, SimTime duration, Action done = {});
 
   // Queues work that runs BEFORE anything already queued at the same
   // priority — a continuation of the currently-executing work item (e.g.
   // the ack a protocol sends inline while processing a segment, which must
   // not queue behind the rest of the softirq backlog).
-  void submit_front(CpuPriority prio, SimTime duration,
-                    std::function<void()> done = {});
+  void submit_front(CpuPriority prio, SimTime duration, Action done = {});
 
   [[nodiscard]] bool busy() const { return busy_; }
-  [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+  [[nodiscard]] std::size_t queued() const {
+    std::size_t n = 0;
+    for (const auto& q : queues_) n += q.size();
+    return n;
+  }
   [[nodiscard]] SimTime busy_time() const { return total_busy_ns_; }
   [[nodiscard]] SimTime busy_time(CpuPriority prio) const {
     return busy_ns_[static_cast<int>(prio)];
@@ -90,26 +97,18 @@ class PriorityResource {
 
  private:
   struct Item {
-    int prio;
-    std::int64_t seq;
     SimTime duration;
-    std::function<void()> done;
-  };
-  struct Later {
-    bool operator()(const Item& a, const Item& b) const {
-      if (a.prio != b.prio) return a.prio > b.prio;
-      return a.seq > b.seq;
-    }
+    Action done;
   };
 
   void start_next();
+  void finish_current();
 
   Simulator* sim_;
   std::string name_;
-  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  std::deque<Item> queues_[kCpuPriorityCount];
   bool busy_ = false;
-  std::int64_t next_seq_ = 0;
-  std::int64_t front_seq_ = -1;
+  Action running_done_;
   SimTime total_busy_ns_ = 0;
   SimTime busy_ns_[kCpuPriorityCount] = {0, 0, 0, 0};
 };

@@ -1,16 +1,6 @@
 #include "sim/simulator.hpp"
 
-#include <stdexcept>
-#include <utility>
-
 namespace clicsim::sim {
-
-void Simulator::at(SimTime t, std::function<void()> action) {
-  if (t < now_) {
-    throw std::logic_error("Simulator::at: scheduling into the past");
-  }
-  queue_.push(t, std::move(action));
-}
 
 std::uint64_t Simulator::run() { return run_until(kNever); }
 
@@ -18,9 +8,8 @@ std::uint64_t Simulator::run_until(SimTime t) {
   stopped_ = false;
   std::uint64_t n = 0;
   while (!stopped_ && !queue_.empty() && queue_.next_time() <= t) {
-    auto ev = queue_.pop();
-    now_ = ev.time;
-    ev.action();
+    now_ = queue_.next_time();
+    queue_.run_earliest();
     ++n;
   }
   if (!stopped_ && t != kNever && now_ < t) now_ = t;

@@ -6,9 +6,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <stdexcept>
+#include <utility>
 
 #include "sim/event_queue.hpp"
+#include "sim/inline_function.hpp"
 #include "sim/time.hpp"
 
 namespace clicsim::sim {
@@ -22,11 +24,34 @@ class Simulator {
   [[nodiscard]] SimTime now() const { return now_; }
 
   // Schedules `action` at absolute simulated time `t` (>= now()).
-  void at(SimTime t, std::function<void()> action);
+  // Templated so a lambda argument is constructed directly in the event
+  // slab rather than moved through an intermediate Action.
+  template <typename F>
+  void at(SimTime t, F&& action) {
+    if (t < now_) {
+      throw std::logic_error("Simulator::at: scheduling into the past");
+    }
+    queue_.emplace(t, std::forward<F>(action));
+  }
 
   // Schedules `action` `delay` ns from now (delay >= 0).
-  void after(SimTime delay, std::function<void()> action) {
-    at(now_ + delay, std::move(action));
+  template <typename F>
+  void after(SimTime delay, F&& action) {
+    at(now_ + delay, std::forward<F>(action));
+  }
+
+  // Reserved-sequence scheduling (see EventQueue::reserve_seq): lets the
+  // timer wheel give a timer the tie-break rank of its arming instant even
+  // though the dispatching event is pushed later.
+  [[nodiscard]] std::uint64_t reserve_seq() { return queue_.reserve_seq(); }
+
+  template <typename F>
+  void at_reserved(SimTime t, std::uint64_t seq, F&& action) {
+    if (t < now_) {
+      throw std::logic_error(
+          "Simulator::at_reserved: scheduling into the past");
+    }
+    queue_.emplace_reserved(t, seq, std::forward<F>(action));
   }
 
   // Runs until the event queue drains or stop() is called.

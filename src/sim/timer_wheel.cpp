@@ -1,0 +1,219 @@
+#include "sim/timer_wheel.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <utility>
+
+namespace clicsim::sim {
+
+namespace {
+
+constexpr std::uint64_t low_bits(int n) { return (1ull << n) - 1; }
+
+}  // namespace
+
+int TimerWheel::level_for(std::uint64_t deadline) const {
+  const std::uint64_t diff = deadline ^ cursor_;
+  if (diff == 0) return 0;
+  const int high = 63 - std::countl_zero(diff);
+  const int level = high / kLevelBits;
+  return level < kLevels ? level : kLevels - 1;
+}
+
+void TimerWheel::link(std::uint32_t index) {
+  Timer& t = timers_[index];
+  const int level = level_for(t.deadline);
+  const int slot =
+      static_cast<int>((t.deadline >> (level * kLevelBits)) & low_bits(kLevelBits));
+  Bucket& b = buckets_[level][slot];
+  t.bucket = static_cast<std::int16_t>(level * kSlots + slot);
+  t.prev = b.tail;
+  t.next = kNil;
+  if (b.tail != kNil) {
+    timers_[b.tail].next = index;
+  } else {
+    b.head = index;
+  }
+  b.tail = index;
+  occupied_[level] |= 1ull << slot;
+}
+
+void TimerWheel::unlink(std::uint32_t index) {
+  Timer& t = timers_[index];
+  const int level = t.bucket / kSlots;
+  const int slot = t.bucket % kSlots;
+  Bucket& b = buckets_[level][slot];
+  if (t.prev != kNil) {
+    timers_[t.prev].next = t.next;
+  } else {
+    b.head = t.next;
+  }
+  if (t.next != kNil) {
+    timers_[t.next].prev = t.prev;
+  } else {
+    b.tail = t.prev;
+  }
+  if (b.head == kNil) occupied_[level] &= ~(1ull << slot);
+  t.prev = t.next = kNil;
+  t.bucket = -1;
+  t.linked = false;
+}
+
+TimerWheel::TimerId TimerWheel::schedule_at(SimTime deadline, Action cb) {
+  if (deadline < sim_->now()) {
+    throw std::logic_error("TimerWheel::schedule_at: deadline in the past");
+  }
+  std::uint32_t index;
+  if (free_.empty()) {
+    index = static_cast<std::uint32_t>(timers_.size());
+    timers_.emplace_back();
+  } else {
+    index = free_.back();
+    free_.pop_back();
+  }
+  Timer& t = timers_[index];
+  t.deadline = static_cast<std::uint64_t>(deadline);
+  t.seq = sim_->reserve_seq();
+  t.linked = true;
+  t.cb = std::move(cb);
+  // The cursor only moves inside anchor events; with nothing pending it may
+  // be pulled straight to now so the level math sees fresh relative offsets.
+  if (static_cast<std::uint64_t>(sim_->now()) > cursor_ &&
+      pending_count_ == 0) {
+    cursor_ = static_cast<std::uint64_t>(sim_->now());
+  }
+  link(index);
+  ++pending_count_;
+  rearm();
+  return (static_cast<std::uint64_t>(index) << 32) | t.gen;
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  const auto index = static_cast<std::uint32_t>(id >> 32);
+  const auto gen = static_cast<std::uint32_t>(id);
+  if (index >= timers_.size()) return false;
+  Timer& t = timers_[index];
+  if (t.gen != gen || !t.linked) return false;
+  unlink(index);
+  t.cb = Action{};
+  ++t.gen;
+  free_.push_back(index);
+  --pending_count_;
+  ++cancelled_;
+  // The anchor that was armed for this timer (if any) discovers the
+  // cancellation lazily and re-arms itself; no event is retracted.
+  return true;
+}
+
+bool TimerWheel::pending(TimerId id) const {
+  const auto index = static_cast<std::uint32_t>(id >> 32);
+  const auto gen = static_cast<std::uint32_t>(id);
+  if (index >= timers_.size()) return false;
+  const Timer& t = timers_[index];
+  return t.gen == gen && t.linked;
+}
+
+bool TimerWheel::next_due(Due* out) const {
+  for (int level = 0; level < kLevels; ++level) {
+    const std::uint64_t occ = occupied_[level];
+    if (occ == 0) continue;
+    const int slot = std::countr_zero(occ);
+    const int shift = level * kLevelBits;
+    std::uint64_t t;
+    if (level == 0) {
+      // Level-0 slots hold exact deadlines within the cursor's 64 ns line.
+      t = (cursor_ & ~low_bits(kLevelBits)) |
+          static_cast<std::uint64_t>(slot);
+    } else {
+      // Higher buckets only bound their earliest deadline from below: the
+      // anchor lands on the bucket's start, cascades it, and looks again.
+      t = (cursor_ >> (shift + kLevelBits) << (shift + kLevelBits)) |
+          (static_cast<std::uint64_t>(slot) << shift);
+    }
+    if (out->time == kNoAnchor || t < out->time) {
+      out->time = t;
+      out->head_seq = timers_[buckets_[level][slot].head].seq;
+    }
+  }
+  return out->time != kNoAnchor;
+}
+
+void TimerWheel::cascade_containing(std::uint64_t t) {
+  // Empty every level>=1 bucket whose window contains t, highest level
+  // first so timers re-bucket into the finer levels relative to the new
+  // cursor. Bucket lists are FIFO in arming order (== reserved-seq order)
+  // and relinking preserves that order, so every destination bucket stays
+  // seq-sorted — the property dispatch relies on.
+  for (int level = kLevels - 1; level >= 1; --level) {
+    const int shift = level * kLevelBits;
+    const int slot = static_cast<int>((t >> shift) & low_bits(kLevelBits));
+    if ((occupied_[level] & (1ull << slot)) == 0) continue;
+    Bucket& b = buckets_[level][slot];
+    std::uint32_t cur = b.head;
+    b.head = b.tail = kNil;
+    occupied_[level] &= ~(1ull << slot);
+    while (cur != kNil) {
+      const std::uint32_t next = timers_[cur].next;
+      timers_[cur].prev = timers_[cur].next = kNil;
+      link(cur);
+      cur = next;
+    }
+  }
+}
+
+void TimerWheel::rearm() {
+  if (pending_count_ == 0) return;
+  Due due{kNoAnchor, 0};
+  if (!next_due(&due)) return;  // unreachable while pending_count_ > 0
+  // A freshly armed timer can land in a bucket whose window already began
+  // (the cursor only advances inside anchors); the anchor still must not be
+  // scheduled into the past.
+  const auto now = static_cast<std::uint64_t>(sim_->now());
+  std::uint64_t due_t = due.time < now ? now : due.time;
+  // An anchor at or before this due time is already in flight; it will
+  // dispatch or re-arm when it pops (discovering cancellations lazily).
+  if (armed_at_ <= due_t) return;
+  armed_at_ = due_t;
+  armed_seq_ = due.head_seq;
+  // The anchor is pushed with the due timer's reserved sequence, placing it
+  // exactly where the seed would have placed that timer's own event among
+  // same-instant events. Anchors that turn out to be bookkeeping (cascade
+  // only / stale) are no-ops and model-invisible, so reusing the timer's
+  // sequence for them is harmless.
+  sim_->at_reserved(static_cast<SimTime>(due_t), due.head_seq,
+                    [this, seq = due.head_seq] { on_anchor(seq); });
+}
+
+void TimerWheel::on_anchor(std::uint64_t seq_tag) {
+  const auto now = static_cast<std::uint64_t>(sim_->now());
+  // Superseded anchors (an earlier deadline armed after us, or our timer
+  // was cancelled and the wheel re-armed) are inert.
+  if (armed_at_ != now || armed_seq_ != seq_tag) return;
+  armed_at_ = kNoAnchor;
+  cursor_ = now;
+  cascade_containing(now);
+
+  // Dispatch at most ONE timer: the FIFO head of now's level-0 slot, and
+  // only if this anchor was armed for exactly that timer. Any same-instant
+  // followers re-arm below with their own reserved sequences, so plain
+  // events interleave between them exactly as in per-event scheduling.
+  const int slot0 = static_cast<int>(now & low_bits(kLevelBits));
+  const Bucket& due = buckets_[0][slot0];
+  if (due.head != kNil && timers_[due.head].deadline == now &&
+      timers_[due.head].seq == seq_tag) {
+    const std::uint32_t index = due.head;
+    unlink(index);
+    Timer& timer = timers_[index];
+    Action cb = std::move(timer.cb);
+    ++timer.gen;
+    free_.push_back(index);
+    --pending_count_;
+    ++fired_;
+    // No references held across the call: cb may arm or cancel timers on
+    // this wheel (and timers_ may reallocate).
+    cb();
+  }
+  rearm();
+}
+
+}  // namespace clicsim::sim

@@ -1,0 +1,107 @@
+// Cancellable hierarchical timer wheel at nanosecond resolution.
+//
+// Protocol timers (retransmission, delayed acks, interrupt coalescing) are
+// overwhelmingly cancelled or rescheduled before they expire. Scheduling
+// each one as its own simulator event means a cancelled timer leaves a
+// tombstone closure in the event heap until its deadline drains; the wheel
+// instead keeps pending timers in intrusive per-bucket FIFO lists (64 slots
+// per level, 6 bits of the deadline each, 11 levels covering the full
+// SimTime range), so cancel() unlinks and destroys the closure in O(1).
+//
+// Determinism contract: a timer fires at its exact nanosecond deadline with
+// the same same-instant tie-break rank as a plain Simulator::at scheduled
+// at arming time. Each arm reserves a heap sequence number; the wheel's
+// anchor events are pushed with the sequence of the timer they intend to
+// dispatch (via Simulator::at_reserved) and dispatch exactly one timer per
+// pop, so the (time, seq) execution order is identical to scheduling every
+// timer as its own event — while cancelled timers vanish without a trace.
+// Anchors that merely cascade buckets or discover they are stale are
+// model-invisible no-ops.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/inline_function.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace clicsim::sim {
+
+class TimerWheel {
+ public:
+  // 0 is never a valid id.
+  using TimerId = std::uint64_t;
+  static constexpr TimerId kInvalidTimer = 0;
+
+  explicit TimerWheel(Simulator& sim) : sim_(&sim) {}
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  // Arms `cb` to fire `delay` ns from now (delay >= 0).
+  TimerId schedule(SimTime delay, Action cb) {
+    return schedule_at(sim_->now() + delay, std::move(cb));
+  }
+
+  // Arms `cb` to fire at absolute time `deadline` (>= now()).
+  TimerId schedule_at(SimTime deadline, Action cb);
+
+  // Disarms a pending timer, destroying its closure immediately.
+  // Returns false when the timer already fired or was already cancelled.
+  bool cancel(TimerId id);
+
+  [[nodiscard]] bool pending(TimerId id) const;
+  [[nodiscard]] std::size_t size() const { return pending_count_; }
+  [[nodiscard]] std::uint64_t fired() const { return fired_; }
+  [[nodiscard]] std::uint64_t cancelled() const { return cancelled_; }
+
+ private:
+  static constexpr int kLevelBits = 6;
+  static constexpr int kSlots = 1 << kLevelBits;        // 64
+  static constexpr int kLevels = 11;                    // 66 bits >= SimTime
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr std::uint64_t kNoAnchor = ~0ull;
+
+  struct Timer {
+    std::uint64_t deadline = 0;
+    std::uint64_t seq = 0;  // heap sequence reserved at arm time
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+    std::uint32_t gen = 1;
+    std::int16_t bucket = -1;  // level * kSlots + slot while linked
+    bool linked = false;
+    Action cb;
+  };
+
+  struct Bucket {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+  };
+
+  struct Due {
+    std::uint64_t time;
+    std::uint64_t head_seq;  // seq of the FIFO head of the due bucket
+  };
+
+  [[nodiscard]] int level_for(std::uint64_t deadline) const;
+  void link(std::uint32_t index);
+  void unlink(std::uint32_t index);
+  [[nodiscard]] bool next_due(Due* out) const;
+  void cascade_containing(std::uint64_t t);
+  void rearm();
+  void on_anchor(std::uint64_t seq_tag);
+
+  Simulator* sim_;
+  std::vector<Timer> timers_;
+  std::vector<std::uint32_t> free_;
+  Bucket buckets_[kLevels][kSlots];
+  std::uint64_t occupied_[kLevels] = {};
+  std::uint64_t cursor_ = 0;
+  std::uint64_t armed_at_ = kNoAnchor;
+  std::uint64_t armed_seq_ = 0;
+  std::size_t pending_count_ = 0;
+  std::uint64_t fired_ = 0;
+  std::uint64_t cancelled_ = 0;
+};
+
+}  // namespace clicsim::sim

@@ -195,8 +195,7 @@ void TcpSocket::emit_segment(std::uint32_t seq, const SentSegment& segment) {
 
   // Sending any segment piggybacks the current ack.
   segs_since_ack_ = 0;
-  ++delack_generation_;
-  delack_armed_ = false;
+  cancel_delack();
   last_advertised_zero_ = h.window == 0;
 
   const auto& cfg = stack_->config();
@@ -223,8 +222,7 @@ void TcpSocket::send_ack_now(sim::CpuPriority prio) {
   h.window = rcv_window();
 
   segs_since_ack_ = 0;
-  ++delack_generation_;
-  delack_armed_ = false;
+  cancel_delack();
   last_advertised_zero_ = h.window == 0;
 
   // The ack is emitted inline as part of the segment processing that owed
@@ -242,33 +240,40 @@ void TcpSocket::note_ack_owed(bool push, sim::CpuPriority prio) {
     send_ack_now(prio);
     return;
   }
-  if (!delack_armed_) {
-    delack_armed_ = true;
-    const std::uint64_t generation = ++delack_generation_;
-    stack_->node().kernel().add_timer(
-        stack_->config().delack_timeout, [this, generation] {
-          if (generation != delack_generation_) return;
-          delack_armed_ = false;
+  if (delack_timer_ == os::Kernel::kInvalidTimer) {
+    delack_timer_ = stack_->node().kernel().add_timer(
+        stack_->config().delack_timeout, [this] {
+          delack_timer_ = os::Kernel::kInvalidTimer;
           if (segs_since_ack_ > 0) send_ack_now();
         });
   }
 }
 
+void TcpSocket::cancel_delack() {
+  if (delack_timer_ != os::Kernel::kInvalidTimer) {
+    stack_->node().kernel().cancel_timer(delack_timer_);
+    delack_timer_ = os::Kernel::kInvalidTimer;
+  }
+}
+
 void TcpSocket::arm_rto() {
-  if (rto_armed_ || unacked_.empty()) return;
-  rto_armed_ = true;
-  const std::uint64_t generation = ++rto_generation_;
+  if (rto_timer_ != os::Kernel::kInvalidTimer || unacked_.empty()) return;
   const auto& cfg = stack_->config();
   sim::SimTime rto = std::max(cfg.rto_initial, cfg.rto_min);
   for (int i = 0; i < rto_backoff_; ++i) rto *= 2;
-  stack_->node().kernel().add_timer(rto, [this, generation] {
-    rto_expired(generation);
-  });
+  rto_timer_ =
+      stack_->node().kernel().add_timer(rto, [this] { rto_expired(); });
 }
 
-void TcpSocket::rto_expired(std::uint64_t generation) {
-  if (generation != rto_generation_) return;
-  rto_armed_ = false;
+void TcpSocket::cancel_rto() {
+  if (rto_timer_ != os::Kernel::kInvalidTimer) {
+    stack_->node().kernel().cancel_timer(rto_timer_);
+    rto_timer_ = os::Kernel::kInvalidTimer;
+  }
+}
+
+void TcpSocket::rto_expired() {
+  rto_timer_ = os::Kernel::kInvalidTimer;
   if (unacked_.empty()) return;
 
   ++retransmits_;
@@ -280,13 +285,10 @@ void TcpSocket::rto_expired(std::uint64_t generation) {
 }
 
 void TcpSocket::arm_zero_window_probe() {
-  if (probe_armed_) return;
-  probe_armed_ = true;
-  const std::uint64_t generation = ++probe_generation_;
-  stack_->node().kernel().add_timer(
-      stack_->config().rto_initial, [this, generation] {
-        if (generation != probe_generation_) return;
-        probe_armed_ = false;
+  if (probe_timer_ != os::Kernel::kInvalidTimer) return;
+  probe_timer_ = stack_->node().kernel().add_timer(
+      stack_->config().rto_initial, [this] {
+        probe_timer_ = os::Kernel::kInvalidTimer;
         if (snd_wnd_ == 0 && unsent_bytes_ > 0 && in_flight() == 0) {
           // 1-byte window probe.
           net::Buffer& front = unsent_.front();
@@ -318,8 +320,7 @@ void TcpSocket::segment_received(const TcpHeader& header, net::Buffer payload,
       if ((header.flags & tcpflags::kSyn) &&
           (header.flags & tcpflags::kAck) && header.ack == snd_nxt_) {
         unacked_.clear();
-        ++rto_generation_;
-        rto_armed_ = false;
+        cancel_rto();
         snd_una_ = header.ack;
         rcv_nxt_ = header.seq + 1;
         snd_wnd_ = header.window;
@@ -331,8 +332,7 @@ void TcpSocket::segment_received(const TcpHeader& header, net::Buffer payload,
     case State::kSynRcvd:
       if ((header.flags & tcpflags::kAck) && header.ack == snd_nxt_) {
         unacked_.clear();
-        ++rto_generation_;
-        rto_armed_ = false;
+        cancel_rto();
         snd_una_ = header.ack;
         snd_wnd_ = header.window;
         become_established();
@@ -378,8 +378,7 @@ void TcpSocket::process_ack(const TcpHeader& header) {
       cwnd_ += std::max<std::int64_t>(mss() * mss() / cwnd_, 1);
     }
 
-    ++rto_generation_;
-    rto_armed_ = false;
+    cancel_rto();
     arm_rto();  // no-op when nothing outstanding
 
     pump_send_requests();

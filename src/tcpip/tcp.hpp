@@ -18,6 +18,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "os/kernel.hpp"
 #include "sim/task.hpp"
 #include "tcpip/ip.hpp"
 
@@ -118,8 +119,10 @@ class TcpSocket {
   void emit_segment(std::uint32_t seq, const SentSegment& segment);
   void send_ack_now(sim::CpuPriority prio = sim::CpuPriority::kSoftirq);
   void note_ack_owed(bool push, sim::CpuPriority prio);
+  void cancel_delack();
   void arm_rto();
-  void rto_expired(std::uint64_t generation);
+  void cancel_rto();
+  void rto_expired();
   void arm_zero_window_probe();
   void pump_send_requests();
   void pump_recv_requests(sim::CpuPriority prio);
@@ -149,11 +152,12 @@ class TcpSocket {
   bool fin_pending_ = false;
   bool fin_sent_ = false;
   std::deque<SendRequest> send_requests_;
-  std::uint64_t rto_generation_ = 0;
-  bool rto_armed_ = false;
+  // Retransmit / probe timers are cancellable kernel (wheel) timers: ack
+  // progress cancels them outright instead of bumping a generation counter
+  // and stranding the superseded closure in the event heap.
+  os::Kernel::TimerId rto_timer_ = os::Kernel::kInvalidTimer;
   int rto_backoff_ = 0;
-  std::uint64_t probe_generation_ = 0;
-  bool probe_armed_ = false;
+  os::Kernel::TimerId probe_timer_ = os::Kernel::kInvalidTimer;
 
   // --- Receive -----------------------------------------------------------------
   std::uint32_t rcv_nxt_ = 0;
@@ -164,8 +168,7 @@ class TcpSocket {
   bool peer_fin_ = false;
   int segs_since_ack_ = 0;
   bool last_advertised_zero_ = false;
-  std::uint64_t delack_generation_ = 0;
-  bool delack_armed_ = false;
+  os::Kernel::TimerId delack_timer_ = os::Kernel::kInvalidTimer;
   std::deque<RecvRequest> recv_requests_;
 
   std::optional<sim::Future<bool>> connect_future_;

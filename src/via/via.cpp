@@ -180,16 +180,18 @@ void ViaProvider::user_send(Vi& vi, ViaHeader header, net::Buffer data,
             req.frame.payload = len > 0 ? data.slice(offset, len)
                                         : net::Buffer::zeros(0);
             req.sg_fragments = 2;
-            req.on_descriptor_done = [remaining,
-                                      on_sent]() mutable {
+            auto complete = [remaining, on_sent]() mutable {
               if (--*remaining == 0 && on_sent) on_sent();
             };
             ++tx_frames_;
             // Kernel bypass: straight to the card, no driver. A full send
             // queue surfaces as an (error) completion — unreliable service
             // means the frame is simply lost.
-            if (!node_->nic(0).post_tx(req)) {
-              if (req.on_descriptor_done) req.on_descriptor_done();
+            if (node_->nic(0).tx_ring_full()) {
+              complete();
+            } else {
+              req.on_descriptor_done = std::move(complete);
+              node_->nic(0).post_tx(std::move(req));
             }
             offset += len;
             first = false;

@@ -1,0 +1,178 @@
+// Determinism regression: the rebuilt engine (slab event heap,
+// InlineFunction closures, timer wheel) must execute the same seeded
+// scenario in a bit-identical (time, seq) order every run. Each trial
+// rebuilds its cluster from scratch and is fingerprinted by event count,
+// final clock and a checksum over protocol/NIC statistics; fingerprints
+// must match exactly. Loss injection keeps the retransmit and delayed-ack
+// timers churning (armed, cancelled, re-armed), and one variant piles
+// explicit kernel-timer cancel/reschedule traffic on top.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/testbed.hpp"
+#include "os/kernel.hpp"
+#include "sim/task.hpp"
+
+namespace clicsim {
+namespace {
+
+struct Fingerprint {
+  std::uint64_t events;
+  sim::SimTime clock;
+  std::uint64_t checksum;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+void mix(std::uint64_t* h, std::uint64_t v) {
+  *h ^= v;
+  *h *= 0x100000001b3ull;  // FNV-1a step
+}
+
+// One fig5-style trial: a seeded lossy 2-node CLIC cluster ping-ponging a
+// sweep of message sizes over the reliable channel. Loss forces RTO arms;
+// every ack cancels and re-arms them; delayed-ack timers are cancelled by
+// piggybacking — exactly the timer churn the wheel must keep deterministic.
+Fingerprint clic_trial(bool churn_kernel_timers) {
+  apps::ClicBed bed;
+  bed.cluster.set_mtu_all(1500);
+  for (int l = 0; l < 2; ++l) {
+    for (int d = 0; d < 2; ++d) {
+      bed.cluster.link(l).faults(d).set_seed(17 + l * 2 + d);
+      bed.cluster.link(l).faults(d).set_drop_probability(0.03);
+    }
+  }
+  bed.module(0).bind_port(1);
+  bed.module(1).bind_port(1);
+
+  if (churn_kernel_timers) {
+    // Extra wheel traffic that never fires: timers armed and then either
+    // cancelled or rescheduled (cancel + re-arm) before their deadline.
+    for (int node = 0; node < 2; ++node) {
+      os::Kernel& k = bed.cluster.node(node).kernel();
+      for (int i = 0; i < 64; ++i) {
+        const auto id = k.add_timer(sim::milliseconds(5) + i * 977,
+                                    [] { ADD_FAILURE(); });
+        if (i % 2 == 0) {
+          k.cancel_timer(id);
+        } else {
+          k.cancel_timer(id);
+          const auto re = k.add_timer(sim::milliseconds(7) + i * 131,
+                                      [] { ADD_FAILURE(); });
+          k.cancel_timer(re);
+        }
+      }
+    }
+  }
+
+  struct Run {
+    static sim::Task pingpong(clic::ClicModule& a, int* done) {
+      for (const std::int64_t size :
+           {std::int64_t{16}, std::int64_t{1000}, std::int64_t{16000},
+            std::int64_t{120000}}) {
+        auto st = co_await a.send(1, 1, 1, net::Buffer::zeros(size),
+                                  clic::SendMode::kConfirmed);
+        if (!st.ok) co_return;
+        ++*done;
+      }
+    }
+    static sim::Task sink(clic::ClicModule& m, int n, int* got) {
+      for (int i = 0; i < n; ++i) {
+        (void)co_await m.recv(1);
+        ++*got;
+      }
+    }
+  };
+  int sent = 0;
+  int received = 0;
+  Run::pingpong(bed.module(0), &sent);
+  Run::sink(bed.module(1), 4, &received);
+  bed.sim.run();  // drain completely: the final clock is the last event
+
+  EXPECT_EQ(sent, 4);
+  EXPECT_EQ(received, 4);
+
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (int node = 0; node < 2; ++node) {
+    mix(&h, bed.module(node).messages_sent());
+    mix(&h, bed.module(node).messages_received());
+    hw::Nic& nic = bed.cluster.node(node).nic(0);
+    mix(&h, nic.tx_frames());
+    mix(&h, nic.rx_frames());
+    mix(&h, nic.interrupts_fired());
+    mix(&h, bed.cluster.node(node).kernel().timer_wheel().fired());
+    mix(&h, bed.cluster.node(node).kernel().timer_wheel().cancelled());
+  }
+  return {bed.sim.events_executed(), bed.sim.now(), h};
+}
+
+// A lossless TCP transfer: delayed-ack and RTO timers on the wheel, socket
+// coroutines, the full two-copy path.
+Fingerprint tcp_trial() {
+  apps::TcpBed bed;
+  bed.cluster.set_mtu_all(1500);
+
+  bed.tcp[1]->listen(7);
+  struct Run {
+    static sim::Task server(tcpip::TcpStack& stack, std::int64_t* got) {
+      tcpip::TcpSocket* s = co_await stack.accept(7);
+      net::Buffer data = co_await s->recv_exact(300000);
+      *got = data.size();
+    }
+    static sim::Task client(tcpip::TcpStack& stack, int server_node,
+                            std::int64_t* pushed) {
+      auto& s = stack.create_socket();
+      if (!co_await s.connect(server_node, 7)) co_return;
+      *pushed = co_await s.send(net::Buffer::zeros(300000));
+      s.close();
+    }
+  };
+  std::int64_t got = 0;
+  std::int64_t pushed = 0;
+  Run::server(*bed.tcp[1], &got);
+  Run::client(*bed.tcp[0], 1, &pushed);
+  bed.sim.run();
+
+  EXPECT_EQ(got, 300000);
+  EXPECT_EQ(pushed, 300000);
+
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (int node = 0; node < 2; ++node) {
+    hw::Nic& nic = bed.cluster.node(node).nic(0);
+    mix(&h, nic.tx_frames());
+    mix(&h, nic.rx_frames());
+    mix(&h, nic.interrupts_fired());
+    mix(&h, bed.cluster.node(node).kernel().timer_wheel().fired());
+    mix(&h, bed.cluster.node(node).kernel().timer_wheel().cancelled());
+  }
+  return {bed.sim.events_executed(), bed.sim.now(), h};
+}
+
+TEST(Determinism, LossyClicScenarioIsBitIdenticalAcrossRuns) {
+  const Fingerprint a = clic_trial(/*churn_kernel_timers=*/false);
+  const Fingerprint b = clic_trial(/*churn_kernel_timers=*/false);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.clock, b.clock);
+  EXPECT_EQ(a.checksum, b.checksum);
+  EXPECT_GT(a.events, 0u);
+  EXPECT_GT(a.clock, 0);
+}
+
+TEST(Determinism, TimerCancelRescheduleChurnStaysBitIdentical) {
+  const Fingerprint a = clic_trial(/*churn_kernel_timers=*/true);
+  const Fingerprint b = clic_trial(/*churn_kernel_timers=*/true);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, TcpScenarioIsBitIdenticalAcrossRuns) {
+  const Fingerprint a = tcp_trial();
+  const Fingerprint b = tcp_trial();
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.clock, b.clock);
+  EXPECT_EQ(a.checksum, b.checksum);
+}
+
+}  // namespace
+}  // namespace clicsim

@@ -1,0 +1,127 @@
+// Unit tests for sim::InlineFunction — the engine's move-only SBO closure
+// type: inline storage, counted heap fallback for oversized captures,
+// move-only capture support and emptiness propagation from nullable
+// wrappers (std::function, other InlineFunctions).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "sim/inline_function.hpp"
+
+namespace clicsim::sim {
+namespace {
+
+TEST(InlineFunction, DefaultConstructedIsEmpty) {
+  Action f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  Action g = nullptr;
+  EXPECT_FALSE(static_cast<bool>(g));
+}
+
+TEST(InlineFunction, CallsSmallLambdaInline) {
+  int hits = 0;
+  Action f = [&hits] { ++hits; };
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_TRUE(f.is_inline());
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, MoveOnlyCaptureWorks) {
+  auto p = std::make_unique<int>(41);
+  int result = 0;
+  Action f = [p = std::move(p), &result] { result = *p + 1; };
+  EXPECT_TRUE(f.is_inline());
+  f();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(InlineFunction, MoveTransfersCallableAndEmptiesSource) {
+  int hits = 0;
+  Action a = [&hits] { ++hits; };
+  Action b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+
+  Action c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, CaptureAtCapacityStaysInline) {
+  struct Fits {
+    std::array<unsigned char, Action::inline_capacity> bytes{};
+    void operator()() const {}
+  };
+  static_assert(sizeof(Fits) == Action::inline_capacity);
+  const std::uint64_t before = inline_function_heap_allocs();
+  Action f = Fits{};
+  EXPECT_TRUE(f.is_inline());
+  EXPECT_EQ(inline_function_heap_allocs(), before);
+}
+
+TEST(InlineFunction, OversizedCaptureFallsBackToCountedHeap) {
+  struct Big {
+    std::array<unsigned char, Action::inline_capacity + 1> bytes{};
+    int* counter;
+    void operator()() const { ++*counter; }
+  };
+  int hits = 0;
+  const std::uint64_t before = inline_function_heap_allocs();
+  {
+    Action f = Big{{}, &hits};
+    EXPECT_FALSE(f.is_inline());
+    EXPECT_EQ(inline_function_heap_allocs(), before + 1);
+    f();
+    // A move of a heap-stored callable moves the pointer, not the object.
+    Action g = std::move(f);
+    EXPECT_FALSE(g.is_inline());
+    EXPECT_EQ(inline_function_heap_allocs(), before + 1);
+    g();
+  }
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, DestructorRunsCaptureDestructors) {
+  auto flag = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = flag;
+  {
+    Action f = [flag = std::move(flag)] { (void)*flag; };
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(InlineFunction, EmptyStdFunctionConvertsToEmpty) {
+  std::function<void()> none;
+  Action f = std::move(none);
+  EXPECT_FALSE(static_cast<bool>(f));  // `if (f)` guards must still work
+
+  std::function<void()> some = [] {};
+  Action g = std::move(some);
+  EXPECT_TRUE(static_cast<bool>(g));
+}
+
+TEST(InlineFunction, EmptySmallerInlineFunctionConvertsToEmpty) {
+  InlineFunction<48> none;
+  InlineFunction<120> f = std::move(none);
+  EXPECT_FALSE(static_cast<bool>(f));
+
+  int hits = 0;
+  InlineFunction<48> some = [&hits] { ++hits; };
+  InlineFunction<120> g = std::move(some);
+  ASSERT_TRUE(static_cast<bool>(g));
+  g();
+  EXPECT_EQ(hits, 1);
+}
+
+}  // namespace
+}  // namespace clicsim::sim

@@ -243,8 +243,12 @@ struct SwitchRig {
   explicit SwitchRig(int ports, net::SwitchParams p = {})
       : params(p), sw(sim, ports, p, "sw") {
     for (int i = 0; i < ports; ++i) {
-      links.push_back(std::make_unique<Link>(sim, LinkParams{},
-                                             "l" + std::to_string(i)));
+      // Built as an lvalue: GCC 12's -Werror=restrict fires a false positive
+      // on operator+(const char*, std::string&&) here.
+      std::string link_name = "l";
+      link_name += std::to_string(i);
+      links.push_back(
+          std::make_unique<Link>(sim, LinkParams{}, std::move(link_name)));
       hosts.push_back(std::make_unique<Catcher>());
       hosts.back()->sim = &sim;
       links.back()->attach(0, hosts.back().get());
