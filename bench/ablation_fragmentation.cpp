@@ -7,32 +7,46 @@
 
 using namespace clicsim;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opt = apps::parse_sweep_args(argc, argv);
   bench::heading("Ablation — on-NIC fragmentation (paper's future work)");
 
   std::printf("  %-34s %10s %12s %12s %12s\n", "configuration", "Mb/s",
               "rx CPU %", "rx irqs", "host pkts");
 
-  auto run = [](bool frag, std::int64_t mtu) {
+  struct Cell {
+    bool frag;
+    std::int64_t mtu;
+  };
+  const Cell cells[] = {
+      {false, 1500}, {true, 1500}, {false, 9000}, {true, 9000}};
+
+  apps::SweepRunner<apps::StreamStats> runner(opt);
+  for (const auto& cell : cells) {
     apps::Scenario s;
     s.cluster.nic = hw::NicProfile::ga620();
-    s.mtu = mtu;
-    s.clic.use_nic_fragmentation = frag;
-    const auto st = apps::clic_stream(s, 256 * 1024, 32 * 1024 * 1024);
-    std::printf("  %-34s %10.1f %12.1f %12llu %12llu\n",
-                (std::string(frag ? "firmware frag" : "host segmentation") +
-                 ", MTU " + std::to_string(mtu))
-                    .c_str(),
-                st.mbps, st.rx_cpu * 100.0,
-                static_cast<unsigned long long>(st.rx_interrupts),
-                static_cast<unsigned long long>(st.rx_frames));
-    return st;
-  };
+    s.mtu = cell.mtu;
+    s.clic.use_nic_fragmentation = cell.frag;
+    runner.add(
+        [s] { return apps::clic_stream(s, 256 * 1024, 32 * 1024 * 1024); });
+  }
+  const auto rows = runner.run();
 
-  const auto off1500 = run(false, 1500);
-  const auto on1500 = run(true, 1500);
-  const auto off9000 = run(false, 9000);
-  const auto on9000 = run(true, 9000);
+  for (std::size_t i = 0; i < std::size(cells); ++i) {
+    const auto& st = rows[i];
+    std::printf(
+        "  %-34s %10.1f %12.1f %12llu %12llu\n",
+        (std::string(cells[i].frag ? "firmware frag" : "host segmentation") +
+         ", MTU " + std::to_string(cells[i].mtu))
+            .c_str(),
+        st.mbps, st.rx_cpu * 100.0,
+        static_cast<unsigned long long>(st.rx_interrupts),
+        static_cast<unsigned long long>(st.rx_frames));
+  }
+  const auto& off1500 = rows[0];
+  const auto& on1500 = rows[1];
+  const auto& off9000 = rows[2];
+  const auto& on9000 = rows[3];
 
   bench::subheading("claims ([11]: fragmentation helps most at small MTU)");
   bench::claim("firmware fragmentation beats host segmentation at MTU 1500",
@@ -44,5 +58,5 @@ int main() {
                (on9000.mbps - off9000.mbps) < (on1500.mbps - off1500.mbps));
   bench::claim("receiver CPU drops with firmware fragmentation",
                on1500.rx_cpu < off1500.rx_cpu);
-  return 0;
+  return bench::exit_code();
 }

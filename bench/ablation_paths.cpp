@@ -7,7 +7,8 @@
 
 using namespace clicsim;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opt = apps::parse_sweep_args(argc, argv);
   bench::heading("Ablation — Figure 1 data paths");
 
   struct Row {
@@ -20,8 +21,23 @@ int main() {
       {clic::TxPath::kOneCopy, "path 3 (1 copy + DMA)"},
       {clic::TxPath::kTwoCopy, "path 4 (2 copies)"},
   };
+  const std::int64_t mtus[] = {9000, 1500};
 
-  for (const std::int64_t mtu : {std::int64_t{9000}, std::int64_t{1500}}) {
+  // 2 MTUs x 4 paths, one stream simulation per cell.
+  apps::SweepRunner<apps::StreamStats> runner(opt);
+  for (const std::int64_t mtu : mtus) {
+    for (const auto& row : rows) {
+      apps::Scenario s;
+      s.mtu = mtu;
+      s.clic.tx_path = row.path;
+      runner.add(
+          [s] { return apps::clic_stream(s, 64 * 1024, 16 * 1024 * 1024); });
+    }
+  }
+  const auto stats = runner.run();
+
+  std::size_t slot = 0;
+  for (const std::int64_t mtu : mtus) {
     bench::subheading("MTU " + std::to_string(mtu) +
                       " — 16 MB stream of 64 KB messages");
     std::printf("  %-28s %10s %12s %12s\n", "tx path", "Mb/s", "tx CPU %",
@@ -29,10 +45,7 @@ int main() {
     double results[4] = {};
     int i = 0;
     for (const auto& row : rows) {
-      apps::Scenario s;
-      s.mtu = mtu;
-      s.clic.tx_path = row.path;
-      const auto st = apps::clic_stream(s, 64 * 1024, 16 * 1024 * 1024);
+      const auto& st = stats[slot++];
       std::printf("  %-28s %10.1f %12.1f %12.1f\n", row.name, st.mbps,
                   st.tx_cpu * 100.0, st.rx_cpu * 100.0);
       results[i++] = st.mbps;
@@ -45,5 +58,5 @@ int main() {
     bench::claim("each copy costs bandwidth (path 3 >= path 4)",
                  results[2] >= results[3] * 0.98);
   }
-  return 0;
+  return bench::exit_code();
 }

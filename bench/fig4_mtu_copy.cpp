@@ -1,12 +1,12 @@
 // Figure 4: CLIC bandwidth vs message size for MTU {9000, 1500} with the
 // 0-copy (path 2) and 1-copy (path 3) transmit paths, coalesced interrupts
 // on — the jumbo-frames-vs-0-copy study.
-#include "apps/parallel.hpp"
 #include "bench/bench_util.hpp"
 
 using namespace clicsim;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opt = apps::parse_sweep_args(argc, argv);
   bench::heading(
       "Figure 4 — CLIC bandwidth: MTU 9000/1500 x 0-copy/1-copy");
 
@@ -14,21 +14,24 @@ int main() {
   s.pingpong_reps = 3;
   const auto sizes = apps::sweep_sizes(16, 8 * 1024 * 1024, 3);
 
-  auto run = [&](std::int64_t mtu, clic::TxPath path) {
+  auto spec = [&](std::int64_t mtu, clic::TxPath path) {
     apps::Scenario v = s;
     v.mtu = mtu;
     v.clic.tx_path = path;
-    return apps::bandwidth_series_parallel(
+    return apps::SeriesSpec{
         (path == clic::TxPath::kZeroCopy ? std::string("0c-mtu") : "1c-mtu") +
             std::to_string(mtu),
-        sizes,
-        [&](std::int64_t n) { return apps::clic_one_way(v, n); });
+        [v](std::int64_t n) { return apps::clic_one_way(v, n); }};
   };
 
-  const auto s0c9000 = run(9000, clic::TxPath::kZeroCopy);
-  const auto s0c1500 = run(1500, clic::TxPath::kZeroCopy);
-  const auto s1c9000 = run(9000, clic::TxPath::kOneCopy);
-  const auto s1c1500 = run(1500, clic::TxPath::kOneCopy);
+  const auto curves = apps::bandwidth_series_set(
+      {spec(9000, clic::TxPath::kZeroCopy), spec(1500, clic::TxPath::kZeroCopy),
+       spec(9000, clic::TxPath::kOneCopy), spec(1500, clic::TxPath::kOneCopy)},
+      sizes, opt);
+  const auto& s0c9000 = curves[0];
+  const auto& s0c1500 = curves[1];
+  const auto& s1c9000 = curves[2];
+  const auto& s1c1500 = curves[3];
 
   bench::print_table({&s0c9000, &s1c9000, &s0c1500, &s1c1500});
 
@@ -46,5 +49,5 @@ int main() {
                jumbo_gain > copy_gain_1500);
   std::printf("  (jumbo gain %.0f Mb/s; 0-copy gain %.0f @1500, %.0f @9000)\n",
               jumbo_gain, copy_gain_1500, copy_gain_9000);
-  return 0;
+  return bench::exit_code();
 }

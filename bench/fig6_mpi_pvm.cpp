@@ -1,30 +1,32 @@
 // Figure 6: bandwidth of CLIC, MPI-on-CLIC, MPI-on-TCP and PVM-on-TCP.
 // Headline: CLIC and MPI-CLIC dominate; even in the worst (large-message)
 // case MPI-CLIC keeps >= 1.5x MPI-TCP; PVM trails everything.
-#include "apps/parallel.hpp"
 #include "bench/bench_util.hpp"
 
 using namespace clicsim;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opt = apps::parse_sweep_args(argc, argv);
   bench::heading("Figure 6 — CLIC, MPI-CLIC, MPI-TCP, PVM-TCP");
 
   apps::Scenario s;
   s.pingpong_reps = 3;
   const auto sizes = apps::sweep_sizes(16, 8 * 1024 * 1024, 3);
 
-  const auto clic = apps::bandwidth_series_parallel(
-      "clic", sizes,
-      [&](std::int64_t n) { return apps::clic_one_way(s, n); });
-  const auto mpi_clic = apps::bandwidth_series_parallel(
-      "mpi-clic", sizes,
-      [&](std::int64_t n) { return apps::mpi_clic_one_way(s, n); });
-  const auto mpi_tcp = apps::bandwidth_series_parallel(
-      "mpi-tcp", sizes,
-      [&](std::int64_t n) { return apps::mpi_tcp_one_way(s, n); });
-  const auto pvm = apps::bandwidth_series_parallel(
-      "pvm-tcp", sizes,
-      [&](std::int64_t n) { return apps::pvm_one_way(s, n); });
+  const auto curves = apps::bandwidth_series_set(
+      {{"clic",
+        [s](std::int64_t n) { return apps::clic_one_way(s, n); }},
+       {"mpi-clic",
+        [s](std::int64_t n) { return apps::mpi_clic_one_way(s, n); }},
+       {"mpi-tcp",
+        [s](std::int64_t n) { return apps::mpi_tcp_one_way(s, n); }},
+       {"pvm-tcp",
+        [s](std::int64_t n) { return apps::pvm_one_way(s, n); }}},
+      sizes, opt);
+  const auto& clic = curves[0];
+  const auto& mpi_clic = curves[1];
+  const auto& mpi_tcp = curves[2];
+  const auto& pvm = curves[3];
 
   bench::print_table({&clic, &mpi_clic, &mpi_tcp, &pvm});
 
@@ -52,5 +54,5 @@ int main() {
   bench::claim("curves of CLIC and MPI-CLIC rise faster",
                bench::half_bandwidth_point(mpi_clic) <
                    bench::half_bandwidth_point(mpi_tcp));
-  return 0;
+  return bench::exit_code();
 }

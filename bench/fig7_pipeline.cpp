@@ -88,7 +88,8 @@ void print_stages(const char* title, const Stages& st) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opt = apps::parse_sweep_args(argc, argv);
   bench::heading("Figure 7 — 1400-byte packet pipeline timing");
   const std::int64_t kPayload = 1400;
 
@@ -102,9 +103,12 @@ int main() {
   print_stages("(a) stock receive path (model constants)", a);
   print_stages("(b) direct driver->module dispatch (Figure 8b)", b);
 
-  const double measured_a = sim::to_us(apps::clic_one_way(stock, kPayload));
-  const double measured_b =
-      sim::to_us(apps::clic_one_way(improved, kPayload));
+  apps::SweepRunner<sim::SimTime> runner(opt);
+  runner.add([&] { return apps::clic_one_way(stock, kPayload); });
+  runner.add([&] { return apps::clic_one_way(improved, kPayload); });
+  const auto measured = runner.run();
+  const double measured_a = sim::to_us(measured[0]);
+  const double measured_b = sim::to_us(measured[1]);
 
   bench::subheading("measured end-to-end one-way, 1400 B");
   bench::compare("stock path: stage sum vs measured", a.sum(), measured_a,
@@ -125,5 +129,5 @@ int main() {
                measured_b < measured_a);
   std::printf("  (one-way 1400 B: stock %.1f us, direct %.1f us)\n",
               measured_a, measured_b);
-  return 0;
+  return bench::exit_code();
 }

@@ -20,18 +20,26 @@ cmake --build "$BUILD" -j"$(nproc)" --target micro_engine fig5_clic_vs_tcp \
   --benchmark_min_time=0.2 \
   --benchmark_format=json > "$BUILD/micro_engine.json"
 
-# Wall-clock of the full fig5 figure harness (ms).
-fig5_start=$(date +%s%N)
-"$BUILD/bench/fig5_clic_vs_tcp" > "$BUILD/fig5_report.txt"
-fig5_end=$(date +%s%N)
-fig5_ms=$(( (fig5_end - fig5_start) / 1000000 ))
+# Wall-clock of the full fig5 figure harness (ms): sequential (-j1, the
+# historical row) and on every core (-jN) — the parallel-speedup trajectory.
+time_fig5() {
+  local start end
+  start=$(date +%s%N)
+  "$BUILD/bench/fig5_clic_vs_tcp" -j "$1" > "$BUILD/fig5_report_j$1.txt"
+  end=$(date +%s%N)
+  echo $(( (end - start) / 1000000 ))
+}
+NPROC=$(nproc)
+fig5_ms=$(time_fig5 1)
+fig5_par_ms=$(time_fig5 "$NPROC")
 
 python3 - "$BUILD/micro_engine.json" "$fig5_ms" "$ROOT/BENCH_engine.json" \
-  <<'PY'
+  "$fig5_par_ms" "$NPROC" <<'PY'
 import json
 import sys
 
 micro_path, fig5_ms, out_path = sys.argv[1], float(sys.argv[2]), sys.argv[3]
+fig5_par_ms, nproc = float(sys.argv[4]), int(sys.argv[5])
 scale_to_ms = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
 
 rows = []
@@ -50,6 +58,18 @@ rows.append({
     "bench": "fig5_clic_vs_tcp",
     "events_per_sec": None,
     "wall_ms": fig5_ms,
+    "sim_events": None,
+})
+rows.append({
+    "bench": "fig5_clic_vs_tcp -j1",
+    "events_per_sec": None,
+    "wall_ms": fig5_ms,
+    "sim_events": None,
+})
+rows.append({
+    "bench": f"fig5_clic_vs_tcp -j{nproc} (nproc)",
+    "events_per_sec": None,
+    "wall_ms": fig5_par_ms,
     "sim_events": None,
 })
 with open(out_path, "w") as f:

@@ -1,52 +1,26 @@
 #include "apps/parallel.hpp"
 
-#include <atomic>
-#include <thread>
-
+#include "apps/sweep.hpp"
 #include "apps/workloads.hpp"
+#include "sim/parallel_executor.hpp"
 
 namespace clicsim::apps {
 
 std::vector<sim::SimTime> parallel_map(
     const std::vector<std::int64_t>& inputs,
     const std::function<sim::SimTime(std::int64_t)>& fn, int threads) {
-  std::vector<sim::SimTime> out(inputs.size(), 0);
-  if (inputs.empty()) return out;
-
-  unsigned n = threads > 0 ? static_cast<unsigned>(threads)
-                           : std::thread::hardware_concurrency();
-  if (n == 0) n = 1;
-  n = std::min<unsigned>(n, static_cast<unsigned>(inputs.size()));
-
-  if (n == 1) {
-    for (std::size_t i = 0; i < inputs.size(); ++i) out[i] = fn(inputs[i]);
-    return out;
+  SweepRunner<sim::SimTime> runner(SweepOptions{threads});
+  for (const auto input : inputs) {
+    runner.add([&fn, input] { return fn(input); });
   }
-
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= inputs.size()) return;
-      out[i] = fn(inputs[i]);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(n);
-  for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
-  return out;
+  return runner.run();
 }
 
 sim::Series bandwidth_series_parallel(
     const std::string& name, const std::vector<std::int64_t>& sizes,
     const std::function<sim::SimTime(std::int64_t)>& one_way, int threads) {
-  const auto times = parallel_map(sizes, one_way, threads);
-  sim::Series series(name);
-  for (std::size_t i = 0; i < sizes.size(); ++i) {
-    series.add(static_cast<double>(sizes[i]), to_mbps(sizes[i], times[i]));
-  }
-  return series;
+  return bandwidth_series_set({{name, one_way}}, sizes,
+                              SweepOptions{threads})[0];
 }
 
 }  // namespace clicsim::apps

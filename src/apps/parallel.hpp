@@ -1,9 +1,11 @@
-// Parallel parameter sweeps.
+// Parallel parameter sweeps — thin wrappers over apps::SweepRunner
+// (sweep.hpp), kept for callers that map a single function over inputs.
 //
 // A simulation is single-threaded and deterministic, but sweep points are
 // independent — each builds its own Simulator and cluster — so they can run
-// on a pool of worker threads. This is the only concurrency in the library;
-// everything inside one simulation stays sequential by design.
+// on a pool of worker threads (sim::ParallelExecutor). This is the only
+// concurrency in the library; everything inside one simulation stays
+// sequential by design.
 #pragma once
 
 #include <cstdint>

@@ -1,16 +1,30 @@
 #include "sim/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <iomanip>
 
 namespace clicsim::sim {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// Atomic so a sweep worker reading the gate never races a main-thread
+// set_log_level(); the level itself is process-wide policy.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+thread_local std::string* t_sink = nullptr;
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+std::string* set_thread_log_sink(std::string* sink) {
+  std::string* previous = t_sink;
+  t_sink = sink;
+  return previous;
+}
+
+std::string* thread_log_sink() { return t_sink; }
 
 std::string_view log_level_name(LogLevel level) {
   switch (level) {
@@ -38,7 +52,11 @@ LogLine::LogLine(const Simulator& sim, LogLevel level,
 
 LogLine::~LogLine() {
   stream_ << '\n';
-  std::fputs(stream_.str().c_str(), stderr);
+  if (t_sink != nullptr) {
+    t_sink->append(stream_.str());
+  } else {
+    std::fputs(stream_.str().c_str(), stderr);
+  }
 }
 
 }  // namespace clicsim::sim

@@ -8,6 +8,7 @@
 
 #include <iosfwd>
 #include <sstream>
+#include <string>
 #include <string_view>
 
 #include "sim/simulator.hpp"
@@ -27,7 +28,29 @@ LogLevel log_level();
 void set_log_level(LogLevel level);
 std::string_view log_level_name(LogLevel level);
 
-// One log statement; flushes to stderr on destruction.
+// Per-thread log sink. By default log lines go to stderr; a worker thread
+// running one simulation of a parallel sweep redirects its output into a
+// string buffer instead, so concurrent simulations never interleave and the
+// harness can flush buffers in job order. Returns the previous sink
+// (nullptr meaning stderr) so scopes can nest.
+std::string* set_thread_log_sink(std::string* sink);
+[[nodiscard]] std::string* thread_log_sink();
+
+// RAII redirection of this thread's log output into `sink` (nullptr
+// restores stderr for the scope).
+class ScopedLogSink {
+ public:
+  explicit ScopedLogSink(std::string* sink)
+      : previous_(set_thread_log_sink(sink)) {}
+  ~ScopedLogSink() { set_thread_log_sink(previous_); }
+  ScopedLogSink(const ScopedLogSink&) = delete;
+  ScopedLogSink& operator=(const ScopedLogSink&) = delete;
+
+ private:
+  std::string* previous_;
+};
+
+// One log statement; flushes to the thread's sink on destruction.
 class LogLine {
  public:
   LogLine(const Simulator& sim, LogLevel level, std::string_view component);

@@ -1,0 +1,53 @@
+#include "sim/parallel_executor.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace clicsim::sim {
+
+ParallelExecutor::ParallelExecutor(int threads)
+    : threads_(threads > 0 ? threads : default_threads()) {}
+
+int ParallelExecutor::default_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ParallelExecutor::run_indexed(
+    std::size_t count, const std::function<void(std::size_t)>& job) const {
+  if (count == 0) return;
+
+  const auto workers =
+      std::min<std::size_t>(static_cast<std::size_t>(threads_), count);
+  if (workers == 1) {
+    for (std::size_t i = 0; i < count; ++i) job(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        job(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace clicsim::sim

@@ -1,0 +1,39 @@
+// Fixed-size worker pool for running independent simulations concurrently.
+//
+// A simulation is single-threaded and deterministic; the only concurrency in
+// the library is *between* simulations. ParallelExecutor owns that: jobs are
+// taken from an indexed FIFO (a single atomic cursor — no work stealing, no
+// reordering of claims), each job writes only to its own result slot, and
+// run_indexed() returns once every job has finished. With one thread the
+// jobs run inline on the calling thread in index order, which is exactly the
+// historical sequential behavior.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace clicsim::sim {
+
+class ParallelExecutor {
+ public:
+  // `threads` <= 0 picks the hardware concurrency (at least 1).
+  explicit ParallelExecutor(int threads = 0);
+
+  [[nodiscard]] int threads() const { return threads_; }
+
+  // Invokes job(i) for every i in [0, count), possibly concurrently, and
+  // blocks until all have completed. `job` must be safe to call from
+  // several threads at once for distinct indices. If a job throws, the
+  // first exception (by completion order) is rethrown after the pool
+  // drains; remaining queued jobs still run.
+  void run_indexed(std::size_t count,
+                   const std::function<void(std::size_t)>& job) const;
+
+  // Hardware concurrency with a floor of 1 (what `threads = 0` resolves to).
+  [[nodiscard]] static int default_threads();
+
+ private:
+  int threads_ = 1;
+};
+
+}  // namespace clicsim::sim
