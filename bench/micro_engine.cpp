@@ -5,6 +5,7 @@
 
 #include "apps/testbed.hpp"
 #include "net/buffer.hpp"
+#include "net/buffer_pool.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
@@ -87,10 +88,23 @@ void BM_ScheduleDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_ScheduleDispatch)->Arg(64)->Arg(1024);
 
+// Pool traffic accumulated across every bed a sweep touches, surfaced as
+// benchmark counters: `allocs` is what the packet path still takes from
+// the global heap (pool warm-up), `reuses` is what the freelists absorbed.
+struct PoolTraffic {
+  std::uint64_t allocs = 0;
+  std::uint64_t reuses = 0;
+
+  void add(const net::BufferPool::Stats& s) {
+    allocs += s.data_heap_allocs + s.header_heap_allocs;
+    reuses += s.data_reuses + s.header_reuses;
+  }
+};
+
 // One fig5-style bandwidth point: a warmed ping-pong of `size`-byte CLIC
 // messages on a fresh 2-node cluster. Returns simulated events executed.
 std::uint64_t clic_sweep_point(std::int64_t mtu, std::int64_t size,
-                               int reps) {
+                               int reps, PoolTraffic* pool = nullptr) {
   apps::ClicBed bed;
   bed.cluster.set_mtu_all(mtu);
   clic::Port a(bed.module(0), 1);
@@ -112,11 +126,12 @@ std::uint64_t clic_sweep_point(std::int64_t mtu, std::int64_t size,
   Drive::echo(b, reps);
   Drive::drive(a, size, reps);
   bed.sim.run();
+  if (pool != nullptr) pool->add(bed.pool.stats());
   return bed.sim.events_executed();
 }
 
 std::uint64_t tcp_sweep_point(std::int64_t mtu, std::int64_t size,
-                              int reps) {
+                              int reps, PoolTraffic* pool = nullptr) {
   apps::TcpBed bed;
   bed.cluster.set_mtu_all(mtu);
   bed.tcp[1]->listen(7);
@@ -143,6 +158,7 @@ std::uint64_t tcp_sweep_point(std::int64_t mtu, std::int64_t size,
   Drive::echo(*bed.tcp[1], size, reps);
   Drive::drive(*bed.tcp[0], size, reps);
   bed.sim.run();
+  if (pool != nullptr) pool->add(bed.pool.stats());
   return bed.sim.events_executed();
 }
 
@@ -154,12 +170,14 @@ void BM_Fig5StyleSweep(benchmark::State& state) {
   static constexpr std::int64_t kSizes[] = {16, 4096, 65536, 1 << 20};
   std::uint64_t per_run = 0;
   std::uint64_t total = 0;
+  PoolTraffic pool_last;
   for (auto _ : state) {
     per_run = 0;
+    pool_last = PoolTraffic{};
     for (const std::int64_t mtu : {std::int64_t{9000}, std::int64_t{1500}}) {
       for (const std::int64_t size : kSizes) {
-        per_run += clic_sweep_point(mtu, size, 2);
-        per_run += tcp_sweep_point(mtu, size, 2);
+        per_run += clic_sweep_point(mtu, size, 2, &pool_last);
+        per_run += tcp_sweep_point(mtu, size, 2, &pool_last);
       }
     }
     total += per_run;
@@ -167,6 +185,11 @@ void BM_Fig5StyleSweep(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(total));
   state.counters["sim_events"] =
       benchmark::Counter(static_cast<double>(per_run));
+  // Per-sweep packet-path allocator traffic: heap mints vs freelist hits.
+  state.counters["pool_heap_allocs"] =
+      benchmark::Counter(static_cast<double>(pool_last.allocs));
+  state.counters["pool_reuses"] =
+      benchmark::Counter(static_cast<double>(pool_last.reuses));
 }
 BENCHMARK(BM_Fig5StyleSweep)->Unit(benchmark::kMillisecond);
 

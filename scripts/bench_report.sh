@@ -20,6 +20,13 @@ cmake --build "$BUILD" -j"$(nproc)" --target micro_engine fig5_clic_vs_tcp \
   --benchmark_min_time=0.2 \
   --benchmark_format=json > "$BUILD/micro_engine.json"
 
+# The same protocol sweep with packet-buffer pooling bypassed: the
+# pooled-vs-heap A/B that keeps the BufferPool win visible across PRs.
+CLICSIM_NO_POOL=1 "$BUILD/bench/micro_engine" \
+  --benchmark_filter='BM_Fig5StyleSweep' \
+  --benchmark_min_time=0.2 \
+  --benchmark_format=json > "$BUILD/micro_engine_nopool.json"
+
 # Wall-clock of the full fig5 figure harness (ms): sequential (-j1, the
 # historical row) and on every core (-jN) — the parallel-speedup trajectory.
 time_fig5() {
@@ -34,26 +41,41 @@ fig5_ms=$(time_fig5 1)
 fig5_par_ms=$(time_fig5 "$NPROC")
 
 python3 - "$BUILD/micro_engine.json" "$fig5_ms" "$ROOT/BENCH_engine.json" \
-  "$fig5_par_ms" "$NPROC" <<'PY'
+  "$fig5_par_ms" "$NPROC" "$BUILD/micro_engine_nopool.json" <<'PY'
 import json
 import sys
 
 micro_path, fig5_ms, out_path = sys.argv[1], float(sys.argv[2]), sys.argv[3]
 fig5_par_ms, nproc = float(sys.argv[4]), int(sys.argv[5])
+nopool_path = sys.argv[6]
 scale_to_ms = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
 
-rows = []
-with open(micro_path) as f:
-    data = json.load(f)
-for b in data.get("benchmarks", []):
-    if b.get("run_type") == "aggregate":
-        continue
-    rows.append({
-        "bench": b["name"],
-        "events_per_sec": b.get("items_per_second"),
-        "wall_ms": b["real_time"] * scale_to_ms.get(b.get("time_unit", "ns")),
-        "sim_events": int(b["sim_events"]) if "sim_events" in b else None,
-    })
+
+def bench_rows(path, suffix=""):
+    rows = []
+    with open(path) as f:
+        data = json.load(f)
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        row = {
+            "bench": b["name"] + suffix,
+            "events_per_sec": b.get("items_per_second"),
+            "wall_ms": b["real_time"]
+            * scale_to_ms.get(b.get("time_unit", "ns")),
+            "sim_events": int(b["sim_events"]) if "sim_events" in b else None,
+        }
+        # Packet-path allocator traffic (BM_Fig5StyleSweep counters): heap
+        # mints vs pool-freelist hits per sweep.
+        if "pool_heap_allocs" in b:
+            row["pool_heap_allocs"] = int(b["pool_heap_allocs"])
+            row["pool_reuses"] = int(b["pool_reuses"])
+        rows.append(row)
+    return rows
+
+
+rows = bench_rows(micro_path)
+rows += bench_rows(nopool_path, suffix=" (CLICSIM_NO_POOL=1)")
 rows.append({
     "bench": "fig5_clic_vs_tcp",
     "events_per_sec": None,

@@ -9,6 +9,7 @@
 #include "clic/api.hpp"
 #include "gamma/gamma.hpp"
 #include "mpi/comm.hpp"
+#include "net/buffer_pool.hpp"
 #include "os/address.hpp"
 #include "os/cluster.hpp"
 #include "pvm/pvm.hpp"
@@ -18,8 +19,17 @@
 
 namespace clicsim::apps {
 
+// Every bed owns a per-simulation packet-buffer arena. Declared first so
+// it outlives everything that holds Buffers/HeaderBlobs, and installed as
+// the thread-current pool for the bed's lifetime (testbeds follow a
+// construct → drive → destroy discipline on one thread, so the LIFO scope
+// matches the bed that is actually running). Pools are strictly
+// per-simulation: parallel sweep workers never share one.
+
 // N nodes running CLIC.
 struct ClicBed {
+  net::BufferPool pool;
+  net::BufferPool::Scope pool_scope{&pool};
   sim::Simulator sim;
   os::Cluster cluster;
   os::AddressMap addresses;
@@ -35,6 +45,8 @@ struct ClicBed {
 
 // N nodes running the TCP/IP stack.
 struct TcpBed {
+  net::BufferPool pool;
+  net::BufferPool::Scope pool_scope{&pool};
   sim::Simulator sim;
   os::Cluster cluster;
   os::AddressMap addresses;
@@ -104,6 +116,8 @@ struct PvmBed {
 
 // N nodes running GAMMA.
 struct GammaBed {
+  net::BufferPool pool;
+  net::BufferPool::Scope pool_scope{&pool};
   sim::Simulator sim;
   os::Cluster cluster;
   os::AddressMap addresses;
@@ -119,6 +133,8 @@ struct GammaBed {
 
 // N nodes running VIA (one VI per ordered node pair is up to the caller).
 struct ViaBed {
+  net::BufferPool pool;
+  net::BufferPool::Scope pool_scope{&pool};
   sim::Simulator sim;
   os::Cluster cluster;
   os::AddressMap addresses;

@@ -281,7 +281,7 @@ void ClicModule::emit_data(int peer, Packet& packet) {
        pio]() mutable {
         auto& driver = node_->driver(nic_index);
         if (pio) {
-          driver.nic().post_tx_pio(skb.to_frame());
+          driver.nic().post_tx_pio(std::move(skb).to_frame());
           if (on_done) on_done();
           return;
         }

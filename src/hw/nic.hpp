@@ -20,7 +20,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 #include <string>
@@ -34,6 +33,7 @@
 #include "net/frame.hpp"
 #include "net/link.hpp"
 #include "sim/inline_function.hpp"
+#include "sim/ring_queue.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer_wheel.hpp"
 
@@ -149,7 +149,7 @@ class Nic : public net::FrameSink {
   std::int64_t mtu_;
   int tx_in_flight_ = 0;
   int rx_ring_used_ = 0;
-  std::deque<net::Frame> rx_queue_;
+  sim::RingQueue<net::Frame> rx_queue_;  // recycled slots: no deque churn
   std::function<void(net::Frame)> rx_bypass_;
   std::unordered_set<net::MacAddr, net::MacAddrHash> multicast_groups_;
 
@@ -160,7 +160,7 @@ class Nic : public net::FrameSink {
     net::Frame frame;
     sim::InlineFunction<120> done;
   };
-  std::deque<TxInFlight> tx_inflight_;
+  sim::RingQueue<TxInFlight> tx_inflight_;
 
   // Coalescing state. The hold-off timer lives on a wheel so re-arming
   // after every interrupt does not strand tombstone events in the heap.

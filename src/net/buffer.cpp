@@ -1,5 +1,6 @@
 #include "net/buffer.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -9,29 +10,30 @@ namespace clicsim::net {
 
 Buffer Buffer::zeros(std::int64_t size) {
   if (size < 0) throw std::invalid_argument("Buffer::zeros: negative size");
-  return Buffer{nullptr, 0, size};
+  return Buffer{{}, 0, size};
 }
 
 Buffer Buffer::pattern(std::int64_t size, std::uint64_t seed) {
   if (size < 0) throw std::invalid_argument("Buffer::pattern: negative size");
+  // Fill the (possibly recycled) block in place — no intermediate vector.
+  auto storage = detail::BlockRef::adopt(detail::acquire_data_block(size));
   sim::Rng rng(seed);
-  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
-  for (auto& b : bytes) {
+  for (auto& b : storage->bytes) {
     b = static_cast<std::byte>(rng.next() & 0xff);
   }
-  return Buffer::bytes(std::move(bytes));
+  return Buffer{std::move(storage), 0, size};
 }
 
 Buffer Buffer::bytes(std::vector<std::byte> data) {
   const auto len = static_cast<std::int64_t>(data.size());
   auto storage =
-      std::make_shared<const std::vector<std::byte>>(std::move(data));
+      detail::BlockRef::adopt(detail::adopt_data_block(std::move(data)));
   return Buffer{std::move(storage), 0, len};
 }
 
 std::span<const std::byte> Buffer::data() const {
   if (!storage_) return {};
-  return std::span<const std::byte>(storage_->data() + offset_,
+  return std::span<const std::byte>(storage_->bytes.data() + offset_,
                                     static_cast<std::size_t>(len_));
 }
 
@@ -85,13 +87,15 @@ Buffer BufferChain::flatten() const {
   }
   if (!all_data) return Buffer::zeros(total_);
 
-  std::vector<std::byte> out;
-  out.reserve(static_cast<std::size_t>(total_));
+  // Assemble straight into a (possibly recycled) block.
+  auto storage = detail::BlockRef::adopt(detail::acquire_data_block(total_));
+  std::byte* out = storage->bytes.data();
   for (const auto& p : parts_) {
     const auto d = p.data();
-    out.insert(out.end(), d.begin(), d.end());
+    std::copy(d.begin(), d.end(), out);
+    out += d.size();
   }
-  return Buffer::bytes(std::move(out));
+  return Buffer{std::move(storage), 0, total_};
 }
 
 void BufferChain::clear() {

@@ -5,13 +5,20 @@
 // host memory); integrity tests run patterned buffers whose contents are
 // verified after every fragmentation / reassembly / retransmission path.
 // Slices share the underlying storage (zero host-copy, like sk_buff clones).
+//
+// Storage blocks are intrusively reference-counted and recycled through the
+// simulation's net::BufferPool when one is current (see buffer_pool.hpp):
+// in steady state a data-carrying packet costs no heap allocation. Without
+// a pool, blocks fall back to plain heap allocation with identical
+// semantics.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <memory>
 #include <span>
 #include <vector>
+
+#include "net/buffer_pool.hpp"
 
 namespace clicsim::net {
 
@@ -30,7 +37,7 @@ class Buffer {
 
   [[nodiscard]] std::int64_t size() const { return len_; }
   [[nodiscard]] bool empty() const { return len_ == 0; }
-  [[nodiscard]] bool has_data() const { return storage_ != nullptr; }
+  [[nodiscard]] bool has_data() const { return static_cast<bool>(storage_); }
 
   // View of the carried bytes; empty span for size-only buffers.
   [[nodiscard]] std::span<const std::byte> data() const;
@@ -46,12 +53,20 @@ class Buffer {
   // (size-only buffers compare equal to anything of equal size).
   [[nodiscard]] bool content_equals(const Buffer& other) const;
 
+  // Identity of the backing storage block (nullptr for size-only buffers);
+  // the pool-invariant tests use it to prove recycled blocks are never
+  // aliased by live handles.
+  [[nodiscard]] const void* storage_identity() const {
+    return storage_.get();
+  }
+
  private:
-  Buffer(std::shared_ptr<const std::vector<std::byte>> storage,
-         std::int64_t offset, std::int64_t len)
+  friend class BufferChain;  // flatten() assembles into a pooled block
+
+  Buffer(detail::BlockRef storage, std::int64_t offset, std::int64_t len)
       : storage_(std::move(storage)), offset_(offset), len_(len) {}
 
-  std::shared_ptr<const std::vector<std::byte>> storage_;
+  detail::BlockRef storage_;
   std::int64_t offset_ = 0;
   std::int64_t len_ = 0;
 };

@@ -8,9 +8,10 @@
 
 #include <array>
 #include <cstdint>
-#include <memory>
+#include <new>
 #include <string>
 #include <typeinfo>
+#include <utility>
 
 #include "net/buffer.hpp"
 
@@ -53,31 +54,40 @@ inline constexpr std::uint16_t kEtherTypeGamma = 0x88B6;
 
 // Type-erased protocol header carried by a frame (e.g. clic::ClicHeader,
 // tcpip::Ipv4Header). Tracks the on-wire byte count it represents.
+//
+// The header object lives in an intrusively refcounted record recycled by
+// the simulation's net::BufferPool — building one per emitted frame (the
+// hot path: every data packet, ack and retransmission constructs a fresh
+// wire header) costs no heap allocation in steady state.
 class HeaderBlob {
  public:
   HeaderBlob() = default;
 
   template <typename T>
   static HeaderBlob of(T header, std::int64_t wire_bytes) {
+    static_assert(alignof(T) <= alignof(detail::HeaderRec),
+                  "over-aligned protocol headers are not supported");
+    detail::HeaderRec* rec = detail::acquire_header_rec(sizeof(T));
+    new (rec->payload()) T(std::move(header));
+    rec->destroy = [](void* p) { static_cast<T*>(p)->~T(); };
+    rec->type = &typeid(T);
     HeaderBlob b;
-    b.ptr_ = std::make_shared<T>(std::move(header));
-    b.type_ = &typeid(T);
+    b.rec_ = detail::HeaderRef::adopt(rec);
     b.wire_bytes_ = wire_bytes;
     return b;
   }
 
   template <typename T>
   [[nodiscard]] const T* get() const {
-    if (type_ == nullptr || *type_ != typeid(T)) return nullptr;
-    return static_cast<const T*>(ptr_.get());
+    if (!rec_ || *rec_->type != typeid(T)) return nullptr;
+    return static_cast<const T*>(rec_->payload());
   }
 
   [[nodiscard]] std::int64_t wire_bytes() const { return wire_bytes_; }
-  [[nodiscard]] bool empty() const { return ptr_ == nullptr; }
+  [[nodiscard]] bool empty() const { return !rec_; }
 
  private:
-  std::shared_ptr<const void> ptr_;
-  const std::type_info* type_ = nullptr;
+  detail::HeaderRef rec_;
   std::int64_t wire_bytes_ = 0;
 };
 

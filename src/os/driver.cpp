@@ -18,8 +18,8 @@ void Driver::add_protocol(std::uint16_t ethertype, ProtocolHandler* handler) {
 bool Driver::post(SkBuff&& skb, sim::Action on_done) {
   if (nic_->tx_ring_full()) return false;
   hw::Nic::TxRequest req;
-  req.frame = skb.to_frame();
   req.sg_fragments = skb.sg_fragments;
+  req.frame = std::move(skb).to_frame();
   req.on_descriptor_done = [this, on_done = std::move(on_done)]() mutable {
     if (on_done) on_done();
     kick_tx_queue();

@@ -14,7 +14,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <unordered_map>
 
 #include "hw/interrupt.hpp"
@@ -22,6 +21,7 @@
 #include "os/kernel.hpp"
 #include "os/skbuff.hpp"
 #include "sim/inline_function.hpp"
+#include "sim/ring_queue.hpp"
 
 namespace clicsim::os {
 
@@ -74,11 +74,13 @@ class Driver {
   std::unordered_map<std::uint16_t, ProtocolHandler*> protocols_;
   bool direct_dispatch_ = false;
 
+  // Queued skbs ride in recycled ring slots (the sk_buff freelist): the
+  // qdisc path allocates nothing per frame once the ring has grown.
   struct PendingTx {
     SkBuff skb;
     sim::Action on_done;
   };
-  std::deque<PendingTx> tx_queue_;
+  sim::RingQueue<PendingTx> tx_queue_;
 
   std::uint64_t tx_packets_ = 0;
   std::uint64_t rx_packets_ = 0;

@@ -3,10 +3,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
 #include "hw/cpu.hpp"
 #include "sim/inline_function.hpp"
+#include "sim/ring_queue.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
 #include "sim/timer_wheel.hpp"
@@ -63,7 +63,7 @@ class Kernel {
   sim::Simulator* sim_;
   hw::Cpu* cpu_;
   sim::TimerWheel wheel_;
-  std::deque<sim::Action> bh_queue_;
+  sim::RingQueue<sim::Action> bh_queue_;  // recycled slots, no deque churn
   bool bh_scheduled_ = false;
   std::uint64_t bh_run_ = 0;
   std::uint64_t syscalls_ = 0;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
 #include "net/buffer.hpp"
 #include "net/frame.hpp"
@@ -28,13 +29,26 @@ struct SkBuff {
   // (requires a scatter/gather capable NIC to transmit directly).
   bool references_user_memory = false;
 
-  [[nodiscard]] net::Frame to_frame() const {
+  [[nodiscard]] net::Frame to_frame() const& {
     net::Frame f;
     f.dst = dst;
     f.src = src;
     f.ethertype = ethertype;
     f.header = header;
     f.payload = payload;
+    return f;
+  }
+
+  // Consuming conversion for the transmit hot path: hands the pooled
+  // header record and buffer reference to the frame instead of bumping
+  // refcounts for a copy that is dropped a moment later.
+  [[nodiscard]] net::Frame to_frame() && {
+    net::Frame f;
+    f.dst = dst;
+    f.src = src;
+    f.ethertype = ethertype;
+    f.header = std::move(header);
+    f.payload = std::move(payload);
     return f;
   }
 };

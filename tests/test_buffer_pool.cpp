@@ -1,0 +1,235 @@
+// BufferPool accounting and lifecycle: high-water mark, outstanding-handle
+// tracking, leak detection at teardown, scope nesting, header-record
+// recycling and the CLICSIM_NO_POOL bypass switch. These tests pin the
+// bookkeeping the per-simulation leak check relies on, plus the safety
+// property that a pool may die before the last handle into it does.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "apps/testbed.hpp"
+#include "net/buffer.hpp"
+#include "net/buffer_pool.hpp"
+#include "net/frame.hpp"
+#include "sim/task.hpp"
+
+namespace clicsim::net {
+namespace {
+
+// Pool accounting is meaningless with pooling bypassed, so the fixture
+// forces it on (overriding a CLICSIM_NO_POOL environment) and restores
+// the override afterwards, so suites can run in any order without leaking
+// process-wide state.
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  BufferPoolTest() { BufferPool::set_pooling_enabled(true); }
+  ~BufferPoolTest() override { BufferPool::clear_pooling_override(); }
+};
+
+TEST_F(BufferPoolTest, OutstandingTracksLiveHandles) {
+  BufferPool pool;
+  BufferPool::Scope scope(&pool);
+  EXPECT_EQ(pool.outstanding(), 0);
+
+  Buffer a = Buffer::pattern(100, 1);
+  EXPECT_EQ(pool.outstanding(), 1);
+  Buffer b = Buffer::pattern(5000, 2);
+  EXPECT_EQ(pool.outstanding(), 2);
+
+  // Slices and copies share the block: no new outstanding handle.
+  Buffer s = a.slice(10, 50);
+  Buffer c = b;
+  EXPECT_EQ(pool.outstanding(), 2);
+
+  a = Buffer{};
+  EXPECT_EQ(pool.outstanding(), 2) << "slice still pins a's block";
+  s = Buffer{};
+  EXPECT_EQ(pool.outstanding(), 1);
+  b = Buffer{};
+  c = Buffer{};
+  EXPECT_EQ(pool.outstanding(), 0);
+}
+
+TEST_F(BufferPoolTest, HighWaterMarkIsMaxSimultaneousHandles) {
+  BufferPool pool;
+  BufferPool::Scope scope(&pool);
+  {
+    std::vector<Buffer> burst;
+    for (int i = 0; i < 10; ++i) burst.push_back(Buffer::pattern(64, i));
+    EXPECT_EQ(pool.high_water(), 10);
+  }
+  EXPECT_EQ(pool.outstanding(), 0);
+  // Later, smaller peaks never lower the mark.
+  Buffer one = Buffer::pattern(64, 99);
+  EXPECT_EQ(pool.high_water(), 10);
+}
+
+TEST_F(BufferPoolTest, StatsCountReusesAndParkedBlocks) {
+  BufferPool::set_pooling_enabled(true);
+  BufferPool pool;
+  BufferPool::Scope scope(&pool);
+
+  { Buffer warm = Buffer::pattern(1000, 1); }
+  const auto after_first = pool.stats();
+  EXPECT_EQ(after_first.data_heap_allocs, 1u);
+  EXPECT_EQ(after_first.data_reuses, 0u);
+  EXPECT_EQ(after_first.parked, 1);
+
+  { Buffer reused = Buffer::pattern(1000, 2); }
+  const auto after_second = pool.stats();
+  EXPECT_EQ(after_second.data_heap_allocs, 1u) << "second buffer re-hit heap";
+  EXPECT_EQ(after_second.data_reuses, 1u);
+  EXPECT_EQ(after_second.parked, 1);
+}
+
+TEST_F(BufferPoolTest, HeaderRecordsAreRecycled) {
+  BufferPool::set_pooling_enabled(true);
+  BufferPool pool;
+  BufferPool::Scope scope(&pool);
+
+  struct FakeHeader {
+    int seq = 7;
+    int port = 9;
+  };
+  { HeaderBlob h = HeaderBlob::of(FakeHeader{}, 8); }
+  EXPECT_EQ(pool.stats().header_heap_allocs, 1u);
+  {
+    HeaderBlob h = HeaderBlob::of(FakeHeader{1, 2}, 8);
+    ASSERT_NE(h.get<FakeHeader>(), nullptr);
+    EXPECT_EQ(h.get<FakeHeader>()->seq, 1);
+    EXPECT_EQ(pool.stats().header_reuses, 1u);
+  }
+  EXPECT_EQ(pool.outstanding(), 0);
+}
+
+TEST_F(BufferPoolTest, CleanTeardownReportsNoLeak) {
+  auto pool = std::make_unique<BufferPool>();
+  {
+    BufferPool::Scope scope(pool.get());
+    Buffer a = Buffer::pattern(100, 1);
+    Buffer b = a.slice(0, 50);
+  }
+  EXPECT_EQ(pool->outstanding(), 0)
+      << "handles released inside the scope must not count as leaks";
+  pool.reset();  // destructor with an empty live list: nothing to orphan
+}
+
+// The leak check: handles that outlive the scope show up in outstanding(),
+// and a pool destroyed while they live orphans them — the handles stay
+// fully usable and release safely to the heap afterwards.
+TEST_F(BufferPoolTest, LeakedHandleSurvivesPoolDestruction) {
+  Buffer leaked;
+  std::uint64_t sum = 0;
+  {
+    auto pool = std::make_unique<BufferPool>();
+    BufferPool::Scope scope(pool.get());
+    leaked = Buffer::pattern(3000, 42);
+    sum = leaked.checksum();
+    EXPECT_EQ(pool->outstanding(), 1) << "the leak check would catch this";
+    // Scope ends, then the pool dies with the handle still alive.
+  }
+  EXPECT_EQ(leaked.checksum(), sum) << "orphaned block lost its contents";
+  leaked = Buffer{};  // releases to the heap; must not touch the dead pool
+}
+
+// Every testbed owns a pool; a drained simulation must hold no handles.
+TEST_F(BufferPoolTest, TestbedTeardownLeakCheck) {
+  BufferPool::set_pooling_enabled(true);
+  apps::ClicBed bed;
+  bed.module(0).bind_port(1);
+  bed.module(1).bind_port(1);
+  struct Run {
+    static sim::Task exchange(clic::ClicModule& a, clic::ClicModule& b,
+                              bool* ok) {
+      auto st = co_await a.send(1, 1, 1, Buffer::pattern(20000, 5),
+                                clic::SendMode::kConfirmed);
+      if (!st.ok) co_return;
+      clic::Message m = co_await b.recv(1);
+      *ok = m.data.size() == 20000;
+    }
+  };
+  bool ok = false;
+  {
+    Run::exchange(bed.module(0), bed.module(1), &ok);
+    bed.sim.run();
+  }
+  EXPECT_TRUE(ok);
+  EXPECT_GT(bed.pool.high_water(), 0) << "traffic never touched the pool";
+  EXPECT_EQ(bed.pool.outstanding(), 0)
+      << "a Buffer or HeaderBlob survived the drained simulation";
+}
+
+TEST_F(BufferPoolTest, ScopesNestLifoAndRestore) {
+  BufferPool::set_pooling_enabled(true);
+  EXPECT_EQ(BufferPool::current(), nullptr);
+  BufferPool outer_pool;
+  BufferPool inner_pool;
+  {
+    BufferPool::Scope outer(&outer_pool);
+    EXPECT_EQ(BufferPool::current(), &outer_pool);
+    {
+      BufferPool::Scope inner(&inner_pool);
+      EXPECT_EQ(BufferPool::current(), &inner_pool);
+      Buffer b = Buffer::pattern(100, 1);
+      EXPECT_EQ(inner_pool.outstanding(), 1);
+      EXPECT_EQ(outer_pool.outstanding(), 0);
+    }
+    EXPECT_EQ(BufferPool::current(), &outer_pool);
+  }
+  EXPECT_EQ(BufferPool::current(), nullptr);
+}
+
+// A block always returns to its home pool, even when a different pool is
+// current at release time — the property that makes interleaved bed
+// lifetimes on one thread safe.
+TEST_F(BufferPoolTest, BlocksReturnToTheirHomePool) {
+  BufferPool::set_pooling_enabled(true);
+  BufferPool home;
+  Buffer wanderer;
+  {
+    BufferPool::Scope scope(&home);
+    wanderer = Buffer::pattern(500, 3);
+  }
+  BufferPool other;
+  {
+    BufferPool::Scope scope(&other);
+    wanderer = Buffer{};  // released while `other` is current
+  }
+  EXPECT_EQ(home.outstanding(), 0);
+  EXPECT_EQ(home.stats().parked, 1) << "block parked in the wrong pool";
+  EXPECT_EQ(other.stats().parked, 0);
+}
+
+TEST_F(BufferPoolTest, BypassSwitchDisablesPooling) {
+  BufferPool::set_pooling_enabled(false);
+  BufferPool pool;
+  BufferPool::Scope scope(&pool);
+  EXPECT_EQ(BufferPool::current(), nullptr)
+      << "a Scope must install no pool while pooling is bypassed";
+  Buffer b = Buffer::pattern(100, 1);
+  EXPECT_EQ(pool.outstanding(), 0);
+  EXPECT_EQ(pool.stats().data_heap_allocs, 0u);
+  b = Buffer{};
+
+  BufferPool::set_pooling_enabled(true);
+  BufferPool::Scope active(&pool);
+  Buffer c = Buffer::pattern(100, 2);
+  EXPECT_EQ(pool.outstanding(), 1);
+}
+
+TEST_F(BufferPoolTest, UnpooledBuffersBehaveIdentically) {
+  BufferPool::set_pooling_enabled(false);
+  Buffer a = Buffer::pattern(10000, 7);
+  Buffer s = a.slice(100, 500);
+  BufferPool::set_pooling_enabled(true);
+  BufferPool pool;
+  BufferPool::Scope scope(&pool);
+  Buffer b = Buffer::pattern(10000, 7);
+  EXPECT_TRUE(a.content_equals(b));
+  EXPECT_EQ(a.checksum(), b.checksum());
+  EXPECT_EQ(s.checksum(), b.slice(100, 500).checksum());
+}
+
+}  // namespace
+}  // namespace clicsim::net

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "apps/testbed.hpp"
+#include "net/buffer_pool.hpp"
 #include "os/kernel.hpp"
 #include "sim/task.hpp"
 
@@ -172,6 +173,44 @@ TEST(Determinism, TcpScenarioIsBitIdenticalAcrossRuns) {
   EXPECT_EQ(a.events, b.events);
   EXPECT_EQ(a.clock, b.clock);
   EXPECT_EQ(a.checksum, b.checksum);
+}
+
+// Pooling regression: buffer-pool recycling is a host-side optimization
+// and must be invisible to the simulation. The same trials run with the
+// pool active and with the CLICSIM_NO_POOL bypass (here driven through
+// set_pooling_enabled, the in-process form of the same switch) must
+// produce bitwise-equal fingerprints — event counts, final clocks and
+// statistics checksums.
+class PoolingDeterminism : public ::testing::Test {
+ protected:
+  ~PoolingDeterminism() override {
+    net::BufferPool::clear_pooling_override();
+  }
+};
+
+TEST_F(PoolingDeterminism, LossyClicTrialIdenticalPooledAndUnpooled) {
+  net::BufferPool::set_pooling_enabled(true);
+  const Fingerprint pooled = clic_trial(/*churn_kernel_timers=*/false);
+  net::BufferPool::set_pooling_enabled(false);
+  const Fingerprint unpooled = clic_trial(/*churn_kernel_timers=*/false);
+  EXPECT_EQ(pooled, unpooled);
+  EXPECT_GT(pooled.events, 0u);
+}
+
+TEST_F(PoolingDeterminism, TimerChurnTrialIdenticalPooledAndUnpooled) {
+  net::BufferPool::set_pooling_enabled(true);
+  const Fingerprint pooled = clic_trial(/*churn_kernel_timers=*/true);
+  net::BufferPool::set_pooling_enabled(false);
+  const Fingerprint unpooled = clic_trial(/*churn_kernel_timers=*/true);
+  EXPECT_EQ(pooled, unpooled);
+}
+
+TEST_F(PoolingDeterminism, TcpTrialIdenticalPooledAndUnpooled) {
+  net::BufferPool::set_pooling_enabled(true);
+  const Fingerprint pooled = tcp_trial();
+  net::BufferPool::set_pooling_enabled(false);
+  const Fingerprint unpooled = tcp_trial();
+  EXPECT_EQ(pooled, unpooled);
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 // pairs use the wire — the multiprogramming capability of section 5.
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "apps/testbed.hpp"
 #include "sim/task.hpp"
 
@@ -107,8 +109,14 @@ TEST(MpiColocated, CollectivesSpanMixedTopology) {
   struct Run {
     static sim::Task go(mpi::Communicator& c, int* ok) {
       (void)co_await c.barrier();
-      net::Buffer out = co_await c.bcast(
-          0, c.rank() == 0 ? net::Buffer::pattern(8000, 1) : net::Buffer{});
+      // The root's payload is built outside the co_await expression on
+      // purpose: GCC 12 miscompiles a conditional-operator temporary of a
+      // non-trivial type inside a co_await operand (the frame-promoted
+      // temporary is destroyed twice), which corrupts any refcounted
+      // payload. Hoisting the conditional sidesteps the bug.
+      net::Buffer contribution =
+          c.rank() == 0 ? net::Buffer::pattern(8000, 1) : net::Buffer{};
+      net::Buffer out = co_await c.bcast(0, std::move(contribution));
       auto gathered = co_await c.gather(3, net::Buffer::pattern(64, c.rank()));
       bool fine = out.content_equals(net::Buffer::pattern(8000, 1));
       if (c.rank() == 3) {

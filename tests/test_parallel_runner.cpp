@@ -11,10 +11,14 @@
 #include <vector>
 
 #include "apps/sweep.hpp"
+#include "apps/testbed.hpp"
 #include "apps/workloads.hpp"
+#include "net/buffer.hpp"
+#include "net/buffer_pool.hpp"
 #include "sim/log.hpp"
 #include "sim/parallel_executor.hpp"
 #include "sim/simulator.hpp"
+#include "sim/task.hpp"
 
 namespace clicsim {
 namespace {
@@ -170,6 +174,73 @@ TEST(SweepDeterminism, RowsAndTracesIdenticalAcrossJobCounts) {
     EXPECT_NE(logs1[i].find("size=" + std::to_string(sizes[i])),
               std::string::npos);
     EXPECT_NE(logs1[i].find("step=2"), std::string::npos);
+  }
+}
+
+// One sweep job carrying real data through the pooled packet path: a
+// patterned CLIC message delivered end-to-end, fingerprinted by one-way
+// latency, event count and the delivered payload's checksum.
+struct PooledRow {
+  sim::SimTime one_way = 0;
+  std::uint64_t events = 0;
+  std::uint64_t payload_sum = 0;
+
+  bool operator==(const PooledRow&) const = default;
+};
+
+PooledRow pooled_point(std::int64_t size) {
+  apps::ClicBed bed;
+  bed.cluster.set_mtu_all(1500);
+  bed.module(0).bind_port(1);
+  bed.module(1).bind_port(1);
+  PooledRow row;
+  struct Run {
+    static sim::Task exchange(clic::ClicModule& a, clic::ClicModule& b,
+                              std::int64_t size, PooledRow* row) {
+      auto st = co_await a.send(1, 1, 1, net::Buffer::pattern(size, 99),
+                                clic::SendMode::kConfirmed);
+      if (!st.ok) co_return;
+      clic::Message m = co_await b.recv(1);
+      row->payload_sum = m.data.checksum();
+    }
+  };
+  Run::exchange(bed.module(0), bed.module(1), size, &row);
+  row.events = bed.sim.run();
+  row.one_way = bed.sim.now();
+  return row;
+}
+
+// Pooling regression across job counts: per-simulation pools are strictly
+// thread-confined, so the same data-carrying sweep must be bitwise equal
+// at -j1/-j2/-j8, with pooling active and with the bypass — and across
+// the two (recycling is invisible to results).
+TEST(SweepDeterminism, PooledRowsIdenticalAcrossJobCountsAndBypass) {
+  const std::vector<std::int64_t> sizes{1,    512,   4096,
+                                        9000, 30000, 120000};
+  auto sweep = [&](int jobs) {
+    apps::SweepRunner<PooledRow> runner(apps::SweepOptions{jobs});
+    for (const auto size : sizes) {
+      runner.add([size] { return pooled_point(size); });
+    }
+    return runner.run();
+  };
+
+  net::BufferPool::set_pooling_enabled(true);
+  const auto pooled1 = sweep(1);
+  const auto pooled2 = sweep(2);
+  const auto pooled8 = sweep(8);
+  net::BufferPool::set_pooling_enabled(false);
+  const auto plain1 = sweep(1);
+  const auto plain8 = sweep(8);
+  net::BufferPool::clear_pooling_override();
+
+  EXPECT_EQ(pooled1, pooled2);
+  EXPECT_EQ(pooled1, pooled8);
+  EXPECT_EQ(pooled1, plain1);
+  EXPECT_EQ(plain1, plain8);
+  for (const auto& row : pooled1) {
+    EXPECT_GT(row.one_way, 0);
+    EXPECT_NE(row.payload_sum, 0u);
   }
 }
 
