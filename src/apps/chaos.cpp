@@ -1,0 +1,391 @@
+#include "apps/chaos.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "apps/testbed.hpp"
+#include "sim/task.hpp"
+
+namespace clicsim::apps {
+
+namespace {
+
+// Probabilistic link misbehaviour while the fault window is open. The
+// values are deliberately hostile: half the frames die inside a burst,
+// and a few percent of survivors are duplicated or shoved out of order.
+constexpr double kGeGoodToBad = 0.05;
+constexpr double kGeBadToGood = 0.30;
+constexpr double kGeLossGood = 0.001;
+constexpr double kGeLossBad = 0.50;
+constexpr double kDupProbability = 0.02;
+constexpr double kDelayProbability = 0.05;
+constexpr sim::SimTime kDelayJitter = sim::microseconds(100.0);
+
+// Per-message bookkeeping; the vectors owning these never reallocate
+// while coroutines hold pointers into them.
+struct MessageState {
+  bool resolved = false;
+  bool ok = false;
+  int delivered = 0;    // intact deliveries observed
+  bool corrupt = false;  // a delivery whose payload did not match
+};
+
+void configure_link_faults(os::Cluster& cluster, const ChaosOptions& o) {
+  int stream = 0;
+  for (int i = 0; i < cluster.size(); ++i) {
+    for (int j = 0; j < cluster.config().nics_per_node; ++j) {
+      for (int d = 0; d < 2; ++d) {
+        net::FaultInjector& f = cluster.link(i, j).faults(d);
+        // One independent stream per link direction, all derived from the
+        // campaign seed so the whole storm replays from one integer.
+        f.set_seed(o.seed * 1000003u + static_cast<std::uint64_t>(stream++));
+        if (o.gilbert_elliott) {
+          f.set_gilbert_elliott(kGeGoodToBad, kGeBadToGood, kGeLossGood,
+                                kGeLossBad);
+        }
+        if (o.duplicates) f.set_duplicate_probability(kDupProbability);
+        if (o.reorder) f.set_delay(kDelayProbability, kDelayJitter);
+      }
+    }
+  }
+}
+
+void clear_link_faults(os::Cluster& cluster) {
+  for (int i = 0; i < cluster.size(); ++i) {
+    for (int j = 0; j < cluster.config().nics_per_node; ++j) {
+      for (int d = 0; d < 2; ++d) {
+        net::FaultInjector& f = cluster.link(i, j).faults(d);
+        f.clear_gilbert_elliott();
+        f.set_drop_probability(0.0);
+        f.set_corrupt_probability(0.0);
+        f.set_duplicate_probability(0.0);
+        f.set_delay(0.0, 0);
+      }
+    }
+  }
+}
+
+// The hard partition: longer than the CLIC channel's full retry budget
+// (~1.4 s at the default rto/backoff/cap/max_retries), still healing well
+// inside the default fault window.
+constexpr sim::SimTime kPartitionStart = sim::milliseconds(200.0);
+constexpr sim::SimTime kPartitionEnd = sim::milliseconds(2400.0);
+
+void schedule_hard_partition(sim::FaultPlan& plan, os::Cluster& cluster,
+                             std::uint64_t seed) {
+  const int victim = static_cast<int>(seed % static_cast<std::uint64_t>(
+                                                 cluster.size()));
+  const std::string name = "carrier " + cluster.link(victim, 0).name();
+  for (int t = 0; t < plan.target_count(); ++t) {
+    if (plan.target_name(t) == name) {
+      plan.fail_between(t, kPartitionStart, kPartitionEnd);
+      return;
+    }
+  }
+}
+
+// Destination for message m: round-robin source, hopping offset so every
+// ordered pair eventually appears.
+int chaos_src(int m, int nodes) { return m % nodes; }
+int chaos_dst(int m, int nodes) {
+  const int offset = 1 + (m / nodes) % (std::max(nodes - 1, 1));
+  return (chaos_src(m, nodes) + offset) % nodes;
+}
+
+void collect_fault_telemetry(ChaosReport& r, os::Cluster& cluster) {
+  for (int i = 0; i < cluster.size(); ++i) {
+    for (int j = 0; j < cluster.config().nics_per_node; ++j) {
+      net::Link& link = cluster.link(i, j);
+      for (int d = 0; d < 2; ++d) {
+        r.link_drops += link.faults(d).dropped();
+        r.link_burst_drops += link.faults(d).burst_drops();
+        r.link_duplicates += link.faults(d).duplicated();
+        r.link_delayed += link.faults(d).delayed();
+      }
+      r.carrier_drops += link.carrier_drops();
+      r.nic_stall_drops += cluster.node(i).nic(j).stall_drops();
+    }
+  }
+  r.switch_port_drops += cluster.ethernet_switch().port_down_drops();
+  r.switch_tail_drops += cluster.ethernet_switch().dropped();
+}
+
+bool timers_clean(os::Cluster& cluster) {
+  for (int i = 0; i < cluster.size(); ++i) {
+    if (cluster.node(i).kernel().timer_wheel().size() != 0) return false;
+  }
+  return true;
+}
+
+void finalize_invariants(ChaosReport& r,
+                         const std::vector<MessageState>& states) {
+  for (const MessageState& st : states) {
+    if (st.resolved) ++r.resolved;
+    if (st.resolved && st.ok) ++r.succeeded;
+    if (st.resolved && !st.ok) ++r.failed;
+    r.delivered += st.delivered;
+    // ok ⇒ delivered exactly once. failed ⇒ at most once (the data may
+    // have landed with only the acks black-holed). Corrupt or duplicate
+    // deliveries are violations outright.
+    if (st.corrupt) ++r.invariant_violations;
+    if (st.resolved && st.ok && st.delivered != 1) ++r.invariant_violations;
+    if (st.resolved && !st.ok && st.delivered > 1) ++r.invariant_violations;
+    if (!st.resolved) ++r.invariant_violations;  // hung send
+  }
+}
+
+ChaosReport run_clic(const ChaosOptions& o) {
+  ChaosReport r;
+  r.stack = ChaosStack::kClic;
+  r.seed = o.seed;
+  r.messages = o.messages;
+
+  os::ClusterConfig cc;
+  cc.nodes = o.nodes;
+  clic::Config clc;
+  clc.seed = o.seed;
+  // Desynchronize retransmission across channels that black-hole together;
+  // jitter is off by default to keep the figure baselines bit-identical.
+  clc.rto_jitter = 0.25;
+  ClicBed bed(cc, clc);
+
+  sim::FaultPlan plan(bed.sim, o.seed);
+  register_cluster_targets(plan, bed.cluster);
+  configure_link_faults(bed.cluster, o);
+  plan.script_at(o.fault_window, [&bed] { clear_link_faults(bed.cluster); });
+  if (o.hard_partition) schedule_hard_partition(plan, bed.cluster, o.seed);
+
+  sim::FaultPlan::Campaign campaign;
+  campaign.start = sim::milliseconds(1.0);
+  campaign.end = o.fault_window;
+  campaign.outages = o.outages;
+  plan.randomize(campaign);
+
+  // One CLIC port per message keeps delivery accounting per-message: a
+  // second arrival on a port whose receiver already completed is a
+  // duplicate and shows up through poll().
+  std::vector<MessageState> states(static_cast<std::size_t>(o.messages));
+  std::vector<net::Buffer> payloads;
+  payloads.reserve(states.size());
+  for (int m = 0; m < o.messages; ++m) {
+    payloads.push_back(net::Buffer::pattern(
+        o.bytes, o.seed ^ (static_cast<std::uint64_t>(m) * 0x9e3779b9u)));
+    bed.module(chaos_dst(m, o.nodes)).bind_port(10 + m);
+    bed.module(chaos_src(m, o.nodes)).bind_port(10 + m);
+  }
+
+  struct Run {
+    static sim::Task tx(clic::ClicModule& mod, int dst, int port,
+                        net::Buffer data, MessageState* st) {
+      auto status = co_await mod.send(port, dst, port, std::move(data),
+                                      clic::SendMode::kConfirmed);
+      st->resolved = true;
+      st->ok = status.ok;
+    }
+    static sim::Task rx(clic::ClicModule& mod, int port, net::Buffer expect,
+                        MessageState* st) {
+      clic::Message got = co_await mod.recv(port);
+      if (got.data.size() == expect.size() &&
+          got.data.content_equals(expect)) {
+        ++st->delivered;
+      } else {
+        st->corrupt = true;
+      }
+    }
+  };
+
+  for (int m = 0; m < o.messages; ++m) {
+    // Three of four messages stagger across the fault window — some hit a
+    // healthy cluster, some start mid-outage, some straddle a heal. Every
+    // fourth goes out after the window closes, revisiting channels that
+    // gave up during the storm: those must resynchronize (kReset) and
+    // deliver.
+    const bool late = m >= (3 * o.messages) / 4;
+    const sim::SimTime start =
+        late ? o.fault_window + sim::milliseconds(10.0) *
+                                    static_cast<sim::SimTime>(1 + m)
+             : (o.fault_window * static_cast<sim::SimTime>(m)) /
+                   static_cast<sim::SimTime>(std::max(2 * o.messages, 1));
+    MessageState* st = &states[static_cast<std::size_t>(m)];
+    bed.sim.at(start, [&bed, m, st, &payloads, nodes = o.nodes] {
+      Run::tx(bed.module(chaos_src(m, nodes)), chaos_dst(m, nodes), 10 + m,
+              payloads[static_cast<std::size_t>(m)], st);
+    });
+    Run::rx(bed.module(chaos_dst(m, o.nodes)), 10 + m,
+            payloads[static_cast<std::size_t>(m)], st);
+  }
+
+  bed.sim.run_until(o.deadline);
+
+  // A duplicate that arrived after the receiver completed is still queued
+  // on the port.
+  for (int m = 0; m < o.messages; ++m) {
+    if (bed.module(chaos_dst(m, o.nodes)).poll(10 + m)) {
+      ++states[static_cast<std::size_t>(m)].delivered;
+    }
+  }
+
+  finalize_invariants(r, states);
+  r.quiesced = !bed.sim.pending();
+  r.timers_clean = timers_clean(bed.cluster);
+  r.outages_scheduled = plan.outages_scheduled();
+  r.fault_events = plan.faults_fired();
+  r.finished_at = bed.sim.now();
+  collect_fault_telemetry(r, bed.cluster);
+  for (int i = 0; i < bed.cluster.size(); ++i) {
+    for (int peer = 0; peer < bed.cluster.size(); ++peer) {
+      const clic::Channel* ch = bed.module(i).channel_to(peer);
+      if (ch == nullptr) continue;
+      r.retransmits += ch->retransmits();
+      r.timeouts += ch->timeouts();
+      r.gave_up += ch->gave_up();
+      r.resets_accepted += ch->resets_accepted();
+    }
+  }
+  return r;
+}
+
+ChaosReport run_tcp(const ChaosOptions& o) {
+  ChaosReport r;
+  r.stack = ChaosStack::kTcp;
+  r.seed = o.seed;
+  r.messages = o.messages;
+
+  os::ClusterConfig cc;
+  cc.nodes = o.nodes;
+  TcpBed bed(cc);
+
+  sim::FaultPlan plan(bed.sim, o.seed);
+  register_cluster_targets(plan, bed.cluster);
+  configure_link_faults(bed.cluster, o);
+  plan.script_at(o.fault_window, [&bed] { clear_link_faults(bed.cluster); });
+  if (o.hard_partition) schedule_hard_partition(plan, bed.cluster, o.seed);
+
+  sim::FaultPlan::Campaign campaign;
+  campaign.start = sim::milliseconds(1.0);
+  campaign.end = o.fault_window;
+  campaign.outages = o.outages;
+  plan.randomize(campaign);
+
+  std::vector<MessageState> states(static_cast<std::size_t>(o.messages));
+  std::vector<net::Buffer> payloads;
+  payloads.reserve(states.size());
+  for (int m = 0; m < o.messages; ++m) {
+    payloads.push_back(net::Buffer::pattern(
+        o.bytes, o.seed ^ (static_cast<std::uint64_t>(m) * 0x9e3779b9u)));
+    bed.tcp[static_cast<std::size_t>(chaos_dst(m, o.nodes))]->listen(5000 +
+                                                                     m);
+  }
+
+  struct Run {
+    static sim::Task tx(tcpip::TcpStack& stack, int dst, int port,
+                        net::Buffer data, MessageState* st) {
+      tcpip::TcpSocket& s = stack.create_socket();
+      const bool up = co_await s.connect(dst, port);
+      if (up) {
+        (void)co_await s.send(std::move(data));
+      }
+      s.close();
+      st->resolved = true;
+      st->ok = up;
+    }
+    static sim::Task rx(tcpip::TcpStack& stack, int port, net::Buffer expect,
+                        MessageState* st) {
+      tcpip::TcpSocket* s = co_await stack.accept(port);
+      net::Buffer got = co_await s->recv_exact(expect.size());
+      if (got.size() == expect.size() && got.content_equals(expect)) {
+        ++st->delivered;
+      } else {
+        st->corrupt = true;
+      }
+      s->close();
+    }
+  };
+
+  for (int m = 0; m < o.messages; ++m) {
+    // Same wave shape as the CLIC run: a quarter of the streams open
+    // against the freshly healed cluster.
+    const bool late = m >= (3 * o.messages) / 4;
+    const sim::SimTime start =
+        late ? o.fault_window + sim::milliseconds(10.0) *
+                                    static_cast<sim::SimTime>(1 + m)
+             : (o.fault_window * static_cast<sim::SimTime>(m)) /
+                   static_cast<sim::SimTime>(std::max(2 * o.messages, 1));
+    MessageState* st = &states[static_cast<std::size_t>(m)];
+    bed.sim.at(start, [&bed, m, st, &payloads, nodes = o.nodes] {
+      Run::tx(*bed.tcp[static_cast<std::size_t>(chaos_src(m, nodes))],
+              chaos_dst(m, nodes), 5000 + m,
+              payloads[static_cast<std::size_t>(m)], st);
+    });
+    Run::rx(*bed.tcp[static_cast<std::size_t>(chaos_dst(m, o.nodes))],
+            5000 + m, payloads[static_cast<std::size_t>(m)], st);
+  }
+
+  bed.sim.run_until(o.deadline);
+
+  finalize_invariants(r, states);
+  r.quiesced = !bed.sim.pending();
+  r.timers_clean = timers_clean(bed.cluster);
+  r.outages_scheduled = plan.outages_scheduled();
+  r.fault_events = plan.faults_fired();
+  r.finished_at = bed.sim.now();
+  collect_fault_telemetry(r, bed.cluster);
+  return r;
+}
+
+}  // namespace
+
+void register_cluster_targets(sim::FaultPlan& plan, os::Cluster& cluster) {
+  for (int i = 0; i < cluster.size(); ++i) {
+    for (int j = 0; j < cluster.config().nics_per_node; ++j) {
+      net::Link* link = &cluster.link(i, j);
+      plan.add_target("carrier " + link->name(),
+                      [link] { link->set_carrier_up(false); },
+                      [link] { link->set_carrier_up(true); });
+      hw::Nic* nic = &cluster.node(i).nic(j);
+      plan.add_target(
+          "nic-stall n" + std::to_string(i) + "." + std::to_string(j),
+          [nic] { nic->set_stalled(true); },
+          [nic] { nic->set_stalled(false); });
+    }
+  }
+  net::Switch* sw = &cluster.ethernet_switch();
+  for (int p = 0; p < sw->ports(); ++p) {
+    plan.add_target("swport " + std::to_string(p),
+                    [sw, p] { sw->set_port_up(p, false); },
+                    [sw, p] { sw->set_port_up(p, true); });
+  }
+}
+
+bool ChaosReport::liveness_ok() const {
+  return resolved == messages && invariant_violations == 0 && quiesced &&
+         timers_clean;
+}
+
+std::string ChaosReport::summary() const {
+  std::ostringstream os;
+  os << "chaos stack=" << (stack == ChaosStack::kClic ? "clic" : "tcp")
+     << " seed=" << seed << " msgs=" << messages << " resolved=" << resolved
+     << " ok=" << succeeded << " failed=" << failed
+     << " delivered=" << delivered << " violations=" << invariant_violations
+     << " quiesced=" << (quiesced ? 1 : 0)
+     << " timers_clean=" << (timers_clean ? 1 : 0)
+     << " outages=" << outages_scheduled << " fault_events=" << fault_events
+     << " drops=" << link_drops << " bursts=" << link_burst_drops
+     << " dups=" << link_duplicates << " delayed=" << link_delayed
+     << " carrier=" << carrier_drops << " port_down=" << switch_port_drops
+     << " tail=" << switch_tail_drops << " stall=" << nic_stall_drops
+     << " retx=" << retransmits << " timeouts=" << timeouts
+     << " gave_up=" << gave_up << " resets=" << resets_accepted;
+  return os.str();
+}
+
+ChaosReport run_chaos_campaign(const ChaosOptions& options) {
+  ChaosOptions o = options;
+  o.nodes = std::max(o.nodes, 2);
+  o.messages = std::clamp(o.messages, 1, 200);
+  return o.stack == ChaosStack::kClic ? run_clic(o) : run_tcp(o);
+}
+
+}  // namespace clicsim::apps

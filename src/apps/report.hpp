@@ -14,7 +14,12 @@ namespace clicsim::apps {
 // Hardware-level snapshot (any protocol stack).
 void report_cluster(std::ostream& os, os::Cluster& cluster);
 
-// CLIC protocol snapshot for one module (ports, channels, counters).
+// CLIC protocol snapshot for one module (ports, channels, counters,
+// degradation telemetry: timeouts / backoff / gave-up / resets).
 void report_clic(std::ostream& os, clic::ClicModule& module);
+
+// Fault telemetry snapshot (any protocol stack): per-link injector and
+// carrier counters, switch tail/port-down drops, NIC stall drops.
+void report_faults(std::ostream& os, os::Cluster& cluster);
 
 }  // namespace clicsim::apps

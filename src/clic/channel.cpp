@@ -1,15 +1,28 @@
 #include "clic/channel.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 namespace clicsim::clic {
 
 Channel::Channel(const Config& config, ChannelOps& ops, int peer)
-    : config_(&config), ops_(&ops), peer_(peer) {}
+    : config_(&config),
+      ops_(&ops),
+      peer_(peer),
+      rto_rng_(config.seed ^ (static_cast<std::uint64_t>(
+                                  static_cast<std::uint32_t>(peer)) *
+                              0x9e3779b97f4a7c15ULL),
+               "clic-rto") {}
 
-void Channel::send(Packet packet, std::function<void()> on_acked) {
+void Channel::send(Packet packet, SendCallback on_result) {
   packet.header.seq = next_seq_++;
-  Unacked entry{std::move(packet), std::move(on_acked)};
+  if (pending_reset_) {
+    // First data after a give-up: tell the peer to skip the abandoned gap.
+    packet.header.flags |= flags::kReset;
+    pending_reset_ = false;
+  }
+  Unacked entry{std::move(packet), std::move(on_result)};
   if (pending_.empty() && in_flight() < config_->window_packets) {
     transmit(entry.packet);
     unacked_.emplace(entry.packet.header.seq, std::move(entry));
@@ -49,12 +62,13 @@ void Channel::process_ack(std::uint32_t ack) {
   bool advanced = false;
   while (!unacked_.empty() && unacked_.begin()->first < ack) {
     auto node = unacked_.extract(unacked_.begin());
-    if (node.mapped().on_acked) node.mapped().on_acked();
+    if (node.mapped().on_result) node.mapped().on_result(true);
     advanced = true;
   }
   if (!advanced) return;
   tx_base_ = ack;
-  // Fresh progress: restart the retransmission clock.
+  // Fresh progress: restart the retransmission clock and its backoff.
+  backoff_level_ = 0;
   if (rto_timer_ != os::Kernel::kInvalidTimer) {
     ops_->kernel().cancel_timer(rto_timer_);
     rto_timer_ = os::Kernel::kInvalidTimer;
@@ -63,14 +77,44 @@ void Channel::process_ack(std::uint32_t ack) {
   drain_pending();
 }
 
+sim::SimTime Channel::current_rto() const {
+  double rto = static_cast<double>(config_->rto);
+  if (config_->rto_backoff > 1.0) {  // 1.0 = fixed clock, level-independent
+    for (int i = 0; i < backoff_level_; ++i) {
+      rto *= config_->rto_backoff;
+      if (rto >= static_cast<double>(config_->rto_max)) break;
+    }
+  }
+  return std::min<sim::SimTime>(static_cast<sim::SimTime>(rto),
+                                config_->rto_max);
+}
+
 void Channel::arm_rto() {
   if (rto_timer_ != os::Kernel::kInvalidTimer) return;
-  rto_timer_ = ops_->kernel().add_timer(config_->rto, [this] { rto_expired(); });
+  sim::SimTime rto = current_rto();
+  if (config_->rto_jitter > 0.0) {
+    // Deterministic jitter in ±rto_jitter, from the per-channel stream.
+    const double spread =
+        config_->rto_jitter * (2.0 * rto_rng_.uniform() - 1.0);
+    rto = std::max<sim::SimTime>(
+        1, static_cast<sim::SimTime>(static_cast<double>(rto) *
+                                     (1.0 + spread)));
+  }
+  rto_timer_ = ops_->kernel().add_timer(rto, [this] { rto_expired(); });
 }
 
 void Channel::rto_expired() {
   rto_timer_ = os::Kernel::kInvalidTimer;
-  if (unacked_.empty()) return;
+  if (unacked_.empty()) {
+    backoff_level_ = 0;
+    return;
+  }
+  ++timeouts_;
+  if (backoff_level_ >= config_->max_retries) {
+    give_up();
+    return;
+  }
+  ++backoff_level_;
   // Selective repeat of the oldest outstanding packet; the reorder buffer
   // on the far side keeps later arrivals.
   ++retransmits_;
@@ -81,10 +125,46 @@ void Channel::rto_expired() {
   arm_rto();
 }
 
+void Channel::give_up() {
+  // Retry budget exhausted with zero ack progress: resolve every
+  // outstanding send as failed rather than retrying forever. The sequence
+  // space moves past the abandoned packets; the next data packet carries
+  // kReset so a peer that comes back resynchronizes.
+  ++gave_up_;
+  backoff_level_ = 0;
+  pending_reset_ = true;
+  tx_base_ = next_seq_;
+  auto unacked = std::move(unacked_);
+  auto pending = std::move(pending_);
+  unacked_.clear();
+  pending_.clear();
+  // Containers are detached first: a callback may immediately send() again.
+  for (auto& [seq, entry] : unacked) {
+    if (entry.on_result) entry.on_result(false);
+  }
+  for (auto& entry : pending) {
+    // Window-blocked packets were never handed to the driver; release any
+    // sync sender waiting on their DMA so it does not block forever on a
+    // descriptor that will never be posted.
+    if (entry.packet.on_descriptor_done) entry.packet.on_descriptor_done();
+    if (entry.on_result) entry.on_result(false);
+  }
+}
+
 void Channel::packet_in(const ClicHeader& header, net::HeaderBlob upper,
                         net::Buffer payload) {
   process_ack(header.ack);
   if (header.flags & flags::kPureAck) return;
+
+  if ((header.flags & flags::kReset) && header.seq > rx_next_) {
+    // The sender abandoned [rx_next_, seq) during an outage; adopt its new
+    // base (forward only — a duplicated or reordered reset must not rewind).
+    ++resets_accepted_;
+    rx_next_ = header.seq;
+    while (!reorder_.empty() && reorder_.begin()->first < rx_next_) {
+      reorder_.erase(reorder_.begin());
+    }
+  }
 
   const bool wants_immediate_ack = (header.flags & flags::kAckRequested) != 0;
 

@@ -2,6 +2,13 @@
 // acknowledgements with piggybacking, retransmission on timeout, in-order
 // delivery with an out-of-order reorder buffer (needed under channel
 // bonding, which stripes packets across NICs).
+//
+// Bounded-failure semantics: consecutive retransmission timeouts back off
+// geometrically (with deterministic jitter) and are budgeted — after
+// `Config::max_retries` expiries with no ack progress the channel gives up,
+// resolving every outstanding send as failed instead of retrying forever.
+// The next data packet then carries a reset flag so a peer that recovers
+// later resynchronizes its receive sequence past the abandoned gap.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +20,7 @@
 #include "clic/header.hpp"
 #include "net/buffer.hpp"
 #include "os/kernel.hpp"
+#include "sim/random.hpp"
 
 namespace clicsim::clic {
 
@@ -52,10 +60,13 @@ class Channel {
 
   // --- Transmit side --------------------------------------------------------
 
+  // Fires with true when the packet is cumulatively acknowledged, with
+  // false when the channel exhausts its retry budget and abandons it.
+  using SendCallback = std::function<void(bool acked)>;
+
   // Queues `packet` (sequence number assigned here); transmits immediately
-  // when the window allows. `on_acked` fires when this packet is
-  // cumulatively acknowledged.
-  void send(Packet packet, std::function<void()> on_acked = {});
+  // when the window allows.
+  void send(Packet packet, SendCallback on_result = {});
 
   // Current cumulative ack to piggyback on outgoing data; marks owed acks
   // as satisfied.
@@ -79,10 +90,20 @@ class Channel {
   [[nodiscard]] std::uint64_t acks_sent() const { return acks_sent_; }
   [[nodiscard]] std::uint32_t rx_next() const { return rx_next_; }
 
+  // Degradation counters (fault telemetry).
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+  [[nodiscard]] int backoff_level() const { return backoff_level_; }
+  [[nodiscard]] std::uint64_t gave_up() const { return gave_up_; }
+  [[nodiscard]] std::uint64_t resets_accepted() const {
+    return resets_accepted_;
+  }
+  // The RTO the next expiry would be armed with (before jitter).
+  [[nodiscard]] sim::SimTime current_rto() const;
+
  private:
   struct Unacked {
     Packet packet;
-    std::function<void()> on_acked;
+    SendCallback on_result;
   };
 
   void transmit(Packet& packet);
@@ -90,6 +111,7 @@ class Channel {
   void process_ack(std::uint32_t ack);
   void arm_rto();
   void rto_expired();
+  void give_up();
   void note_ack_owed(bool immediate);
   void send_pure_ack();
 
@@ -105,6 +127,9 @@ class Channel {
   std::map<std::uint32_t, Unacked> unacked_;
   std::deque<Unacked> pending_;  // waiting for window space
   os::Kernel::TimerId rto_timer_ = os::Kernel::kInvalidTimer;
+  int backoff_level_ = 0;       // consecutive expiries with no progress
+  bool pending_reset_ = false;  // next data packet carries flags::kReset
+  sim::Rng rto_rng_;            // deterministic jitter stream
 
   // RX state.
   std::uint32_t rx_next_ = 0;
@@ -116,6 +141,9 @@ class Channel {
   std::uint64_t duplicates_ = 0;
   std::uint64_t out_of_order_ = 0;
   std::uint64_t acks_sent_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t gave_up_ = 0;
+  std::uint64_t resets_accepted_ = 0;
 };
 
 }  // namespace clicsim::clic

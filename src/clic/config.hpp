@@ -34,6 +34,23 @@ struct Config {
   int ack_every = 4;                // pure ack after N unacked data packets
   sim::SimTime ack_delay = sim::microseconds(50.0);
 
+  // Retransmission policy (bounded-failure semantics): consecutive RTO
+  // expiries back off geometrically from `rto` by `rto_backoff` up to
+  // `rto_max`, each armed deadline optionally scaled by a deterministic
+  // jitter of up to ±`rto_jitter` drawn from a per-channel stream of
+  // `seed` (so two channels that black-hole together do not retransmit in
+  // lockstep, and every run replays byte-identically). Jitter defaults
+  // off: the paper-reproduction figures pin the exact seed retransmission
+  // schedule; chaos campaigns turn it on. After `max_retries` consecutive
+  // expiries with no ack progress the channel gives up: every outstanding
+  // send resolves with ok=false instead of retrying forever, and the next
+  // transmission carries a reset so a recovered peer resynchronizes.
+  double rto_backoff = 2.0;
+  sim::SimTime rto_max = sim::milliseconds(200.0);
+  double rto_jitter = 0.0;
+  int max_retries = 12;
+  std::uint64_t seed = 1;           // RTO-jitter stream seed
+
   // Kernel processing costs (Figure 7 measurements).
   sim::SimTime module_tx_cost = sim::microseconds(0.7);
   sim::SimTime module_rx_cost = sim::microseconds(2.0);

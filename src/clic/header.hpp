@@ -33,6 +33,10 @@ inline constexpr std::uint8_t kFirstFragment = 0x01;
 inline constexpr std::uint8_t kLastFragment = 0x02;
 inline constexpr std::uint8_t kAckRequested = 0x04;  // confirmation of reception
 inline constexpr std::uint8_t kPureAck = 0x08;       // carries no data
+// Sender abandoned every sequence before this packet's (a retry budget was
+// exhausted during an outage): the receiver adopts this packet's sequence
+// as its new expected base instead of waiting forever for the gap.
+inline constexpr std::uint8_t kReset = 0x10;
 }  // namespace flags
 
 struct ClicHeader {

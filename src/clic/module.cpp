@@ -142,20 +142,24 @@ void ClicModule::send_packets(int dst_node, std::deque<Packet> packets,
   struct State {
     std::deque<Packet> packets;
     int dma_remaining = 0;
+    bool aborted = false;   // channel gave up on an earlier fragment
+    bool finished = false;  // result future already resolved
   };
   auto state = std::make_shared<State>();
   state->packets = std::move(packets);
   state->dma_remaining = static_cast<int>(state->packets.size());
 
-  auto finish = [this, result]() mutable {
-    kernel().syscall_return([result]() mutable { result.set({true}); });
+  auto finish = [this, result](bool ok) mutable {
+    kernel().syscall_return([result, ok]() mutable {
+      result.set(SendStatus{ok, ok ? SendError::kNone : SendError::kTimedOut});
+    });
   };
 
   // Completion wiring by mode.
   if (mode == SendMode::kSync) {
     for (auto& p : state->packets) {
       p.on_descriptor_done = [state, finish]() mutable {
-        if (--state->dma_remaining == 0) finish();
+        if (--state->dma_remaining == 0) finish(true);
       };
     }
   }
@@ -166,8 +170,16 @@ void ClicModule::send_packets(int dst_node, std::deque<Packet> packets,
   auto process_next = std::make_shared<std::function<void()>>();
   *process_next = [this, state, dst_node, mode, finish,
                    process_next]() mutable {
+    if (state->aborted) {
+      // The channel abandoned an earlier fragment of this message (retry
+      // budget exhausted). Submitting the rest would hand the peer a
+      // message with a hole, so the remainder is dropped here; the result
+      // future already resolved as failed.
+      *process_next = nullptr;
+      return;
+    }
     if (state->packets.empty()) {
-      if (mode == SendMode::kAsync) finish();
+      if (mode == SendMode::kAsync) finish(true);
       // Break the shared_ptr cycle now that processing is complete.
       *process_next = nullptr;
       return;
@@ -178,21 +190,33 @@ void ClicModule::send_packets(int dst_node, std::deque<Packet> packets,
 
     node_->cpu().run(
         sim::CpuPriority::kKernel, config_.module_tx_cost,
-        [this, p = std::move(p), dst_node, mode, last, finish,
+        [this, state, p = std::move(p), dst_node, mode, last, finish,
          process_next]() mutable {
           // prepare_packet_data needs a stable Packet; keep it in a shared
           // holder across the asynchronous cost charge.
           auto holder = std::make_shared<Packet>(std::move(p));
           prepare_packet_data(*holder,
-                              [this, holder, dst_node, mode, last, finish,
-                               process_next]() mutable {
-                                std::function<void()> on_acked;
-                                if (mode == SendMode::kConfirmed && last) {
-                                  on_acked = finish;
+                              [this, state, holder, dst_node, mode, last,
+                               finish, process_next]() mutable {
+                                Channel::SendCallback on_result;
+                                if (mode == SendMode::kConfirmed) {
+                                  // Every fragment reports back: the last
+                                  // one resolves the send, and any
+                                  // abandoned fragment fails it early and
+                                  // stops the rest of the message.
+                                  on_result = [state, finish,
+                                               last](bool ok) mutable {
+                                    if (!ok) state->aborted = true;
+                                    if (state->finished) return;
+                                    if (last || !ok) {
+                                      state->finished = true;
+                                      finish(ok);
+                                    }
+                                  };
                                 }
                                 channel(dst_node)
                                     .send(std::move(*holder),
-                                          std::move(on_acked));
+                                          std::move(on_result));
                                 (*process_next)();
                               });
         });

@@ -50,8 +50,17 @@ enum class SendMode {
   kConfirmed,  // returns when the peer acknowledged reception
 };
 
+// Why a send resolved the way it did. kTimedOut is the bounded-failure
+// outcome: the reliable channel exhausted its retry budget (peer down,
+// black-holed path) and abandoned the message instead of hanging forever.
+enum class SendError : std::uint8_t {
+  kNone = 0,
+  kTimedOut = 1,  // retry budget exhausted, message abandoned
+};
+
 struct SendStatus {
   bool ok = true;
+  SendError error = SendError::kNone;
 };
 
 class ClicModule : public os::ProtocolHandler, private ChannelOps {

@@ -85,6 +85,11 @@ void Nic::post_tx_pio(net::Frame frame) {
 }
 
 void Nic::transmit_wire_frames(net::Frame frame) {
+  if (stalled_) {
+    // The TX FIFO is wedged: the frame is lost inside the card.
+    ++stall_drops_;
+    return;
+  }
   if (frame.payload_bytes() <= mtu_) {
     ++tx_frames_;
     sim::SimTime credit = 0;
@@ -149,6 +154,11 @@ void Nic::transmit_wire_frames(net::Frame frame) {
 }
 
 void Nic::frame_arrived(net::Frame frame) {
+  if (stalled_) {
+    // A wedged card posts no RX buffers: the wire-side frame is lost.
+    ++stall_drops_;
+    return;
+  }
   if (!frame.fcs_ok) {
     ++rx_bad_fcs_;
     return;

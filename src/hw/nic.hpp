@@ -110,6 +110,16 @@ class Nic : public net::FrameSink {
   void set_mtu(std::int64_t mtu);
   [[nodiscard]] std::int64_t mtu() const { return mtu_; }
 
+  // Fault orchestration: a stalled card is wedged — frames arriving off the
+  // wire are lost (no buffer posting) and frames reaching the TX FIFO never
+  // make it onto the wire. Host-side rings and descriptors keep working, so
+  // drivers stay oblivious, exactly like a real firmware hang. resume()
+  // (set_stalled(false)) brings the card back; recovery is the protocol's
+  // problem.
+  void set_stalled(bool stalled) { stalled_ = stalled; }
+  [[nodiscard]] bool stalled() const { return stalled_; }
+  [[nodiscard]] std::uint64_t stall_drops() const { return stall_drops_; }
+
   [[nodiscard]] const net::MacAddr& mac() const { return mac_; }
   [[nodiscard]] const NicProfile& profile() const { return profile_; }
   [[nodiscard]] int irq() const { return irq_; }
@@ -147,6 +157,8 @@ class Nic : public net::FrameSink {
   int link_end_ = -1;
 
   std::int64_t mtu_;
+  bool stalled_ = false;
+  std::uint64_t stall_drops_ = 0;
   int tx_in_flight_ = 0;
   int rx_ring_used_ = 0;
   sim::RingQueue<net::Frame> rx_queue_;  // recycled slots: no deque churn

@@ -6,21 +6,44 @@
 
 namespace clicsim::net {
 
-FaultInjector::Verdict FaultInjector::judge() {
+FaultInjector::Outcome FaultInjector::judge() {
   const std::uint64_t index = count_++;
   if (drop_list_.erase(index) > 0) {
     ++dropped_;
-    return Verdict::kDrop;
+    return {Verdict::kDrop};
   }
-  if (drop_prob_ > 0.0 && rng_.bernoulli(drop_prob_)) {
+  // Loss: Gilbert–Elliott burst model when enabled, Bernoulli coin
+  // otherwise. The draw order is fixed so configurations that leave a
+  // feature disabled consume exactly the same RNG stream as before the
+  // feature existed.
+  if (ge_enabled_) {
+    ge_bad_ = ge_bad_ ? !rng_.bernoulli(ge_bad_to_good_)
+                      : rng_.bernoulli(ge_good_to_bad_);
+    const double loss = ge_bad_ ? ge_loss_bad_ : ge_loss_good_;
+    if (loss > 0.0 && rng_.bernoulli(loss)) {
+      ++dropped_;
+      if (ge_bad_) ++burst_drops_;
+      return {Verdict::kDrop};
+    }
+  } else if (drop_prob_ > 0.0 && rng_.bernoulli(drop_prob_)) {
     ++dropped_;
-    return Verdict::kDrop;
+    return {Verdict::kDrop};
   }
   if (corrupt_prob_ > 0.0 && rng_.bernoulli(corrupt_prob_)) {
     ++corrupted_;
-    return Verdict::kCorrupt;
+    return {Verdict::kCorrupt};
   }
-  return Verdict::kDeliver;
+  if (dup_prob_ > 0.0 && rng_.bernoulli(dup_prob_)) {
+    ++duplicated_;
+    return {Verdict::kDuplicate};
+  }
+  if (delay_prob_ > 0.0 && rng_.bernoulli(delay_prob_)) {
+    ++delayed_;
+    const sim::SimTime jitter =
+        delay_jitter_ > 0 ? rng_.uniform_int(0, delay_jitter_ - 1) : 0;
+    return {Verdict::kDelay, jitter};
+  }
+  return {Verdict::kDeliver};
 }
 
 Link::Link(sim::Simulator& sim, LinkParams params, std::string name)
@@ -36,6 +59,12 @@ int Link::check_end(int end) {
 
 void Link::attach(int end, FrameSink* sink) { sinks_[check_end(end)] = sink; }
 
+void Link::deliver_at(FrameSink* dest, sim::SimTime when, Frame frame) {
+  sim_->at(when, [dest, frame = std::move(frame)]() mutable {
+    dest->frame_arrived(std::move(frame));
+  });
+}
+
 void Link::send(int end, Frame frame, sim::Action on_serialized,
                 sim::SimTime delivery_credit) {
   check_end(end);
@@ -47,17 +76,33 @@ void Link::send(int end, Frame frame, sim::Action on_serialized,
 
   // A dropped frame still occupies the wire for its transmission time; it
   // just never reaches the far end. Corrupted frames arrive with a bad FCS
-  // and are discarded by the receiving NIC.
+  // and are discarded by the receiving NIC. A downed carrier black-holes
+  // the frame before the injector even sees it (and consumes no RNG, so
+  // flap-free runs replay identically).
   bool deliver = true;
-  switch (dir.faults.judge()) {
-    case FaultInjector::Verdict::kDrop:
-      deliver = false;
-      break;
-    case FaultInjector::Verdict::kCorrupt:
-      frame.fcs_ok = false;
-      break;
-    case FaultInjector::Verdict::kDeliver:
-      break;
+  bool duplicate = false;
+  sim::SimTime extra_delay = 0;
+  if (!carrier_up_) {
+    ++carrier_drops_;
+    deliver = false;
+  } else {
+    const FaultInjector::Outcome out = dir.faults.judge();
+    switch (out.verdict) {
+      case FaultInjector::Verdict::kDrop:
+        deliver = false;
+        break;
+      case FaultInjector::Verdict::kCorrupt:
+        frame.fcs_ok = false;
+        break;
+      case FaultInjector::Verdict::kDuplicate:
+        duplicate = true;
+        break;
+      case FaultInjector::Verdict::kDelay:
+        extra_delay = out.delay;
+        break;
+      case FaultInjector::Verdict::kDeliver:
+        break;
+    }
   }
 
   const sim::SimTime tx_time =
@@ -69,10 +114,14 @@ void Link::send(int end, Frame frame, sim::Action on_serialized,
 
   const sim::SimTime floor = sim_->now() + sim::nanoseconds(500);
   const sim::SimTime arrive =
-      std::max(floor, serialized - delivery_credit) + params_.propagation;
-  sim_->at(arrive, [dest, frame = std::move(frame)]() mutable {
-    dest->frame_arrived(std::move(frame));
-  });
+      std::max(floor, serialized - delivery_credit) + params_.propagation +
+      extra_delay;
+  if (duplicate) {
+    // The copy trails the original by one serialization time, as if the
+    // frame had been put on the wire twice back to back.
+    deliver_at(dest, arrive + tx_time, frame);
+  }
+  deliver_at(dest, arrive, std::move(frame));
 }
 
 }  // namespace clicsim::net

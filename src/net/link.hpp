@@ -2,8 +2,11 @@
 //
 // Each direction serializes frames at line rate (including preamble/IFG),
 // then delivers to the far-end FrameSink after the propagation delay.
-// A per-direction FaultInjector supports probabilistic drop/corruption and
-// deterministic drop lists (nth-frame) for reproducible loss tests.
+// A per-direction FaultInjector supports probabilistic drop/corruption,
+// deterministic drop lists (nth-frame), Gilbert–Elliott two-state bursty
+// loss, frame duplication and bounded-jitter delay (reordering). The link
+// itself models carrier: while the carrier is down (a cable pull / port
+// flap) frames still occupy the wire but never reach the far end.
 #pragma once
 
 #include <cstdint>
@@ -25,7 +28,15 @@ struct LinkParams {
 
 class FaultInjector {
  public:
-  enum class Verdict { kDeliver, kDrop, kCorrupt };
+  enum class Verdict { kDeliver, kDrop, kCorrupt, kDuplicate, kDelay };
+
+  // A per-frame fault decision. `delay` is only meaningful for kDelay: the
+  // extra time the frame spends "in the weeds" before arriving (causing
+  // reordering against later frames).
+  struct Outcome {
+    Verdict verdict = Verdict::kDeliver;
+    sim::SimTime delay = 0;
+  };
 
   explicit FaultInjector(std::uint64_t seed = 1) : rng_(seed, "link-fault") {}
 
@@ -33,23 +44,67 @@ class FaultInjector {
   void set_corrupt_probability(double p) { corrupt_prob_ = p; }
   void set_seed(std::uint64_t seed) { rng_ = sim::Rng(seed, "link-fault"); }
 
+  // Gilbert–Elliott two-state bursty loss: per-frame transitions between a
+  // good state (loss `loss_good`) and a bad state (loss `loss_bad`), with
+  // transition probabilities `good_to_bad` / `bad_to_good`. Replaces the
+  // Bernoulli drop coin while enabled; the mean burst length is
+  // 1 / bad_to_good frames.
+  void set_gilbert_elliott(double good_to_bad, double bad_to_good,
+                           double loss_good, double loss_bad) {
+    ge_enabled_ = good_to_bad > 0.0 || loss_bad > 0.0;
+    ge_good_to_bad_ = good_to_bad;
+    ge_bad_to_good_ = bad_to_good;
+    ge_loss_good_ = loss_good;
+    ge_loss_bad_ = loss_bad;
+    ge_bad_ = false;
+  }
+  void clear_gilbert_elliott() { ge_enabled_ = false; }
+
+  // Frame duplication: the frame arrives twice (second copy right behind
+  // the first).
+  void set_duplicate_probability(double p) { dup_prob_ = p; }
+
+  // Bounded-jitter delay: with probability `p` a frame is held back an
+  // extra uniform [0, max_jitter) before delivery, reordering it against
+  // frames sent after it.
+  void set_delay(double p, sim::SimTime max_jitter) {
+    delay_prob_ = p;
+    delay_jitter_ = max_jitter;
+  }
+
   // Drop exactly the frame with this 0-based send index (repeatable tests).
   void drop_frame_index(std::uint64_t index) { drop_list_.insert(index); }
 
-  Verdict judge();
+  Outcome judge();
 
   [[nodiscard]] std::uint64_t seen() const { return count_; }
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
   [[nodiscard]] std::uint64_t corrupted() const { return corrupted_; }
+  [[nodiscard]] std::uint64_t duplicated() const { return duplicated_; }
+  [[nodiscard]] std::uint64_t delayed() const { return delayed_; }
+  [[nodiscard]] std::uint64_t burst_drops() const { return burst_drops_; }
+  [[nodiscard]] bool in_burst() const { return ge_enabled_ && ge_bad_; }
 
  private:
   double drop_prob_ = 0.0;
   double corrupt_prob_ = 0.0;
+  double dup_prob_ = 0.0;
+  double delay_prob_ = 0.0;
+  sim::SimTime delay_jitter_ = 0;
+  bool ge_enabled_ = false;
+  bool ge_bad_ = false;
+  double ge_good_to_bad_ = 0.0;
+  double ge_bad_to_good_ = 0.0;
+  double ge_loss_good_ = 0.0;
+  double ge_loss_bad_ = 0.0;
   sim::Rng rng_;
   std::set<std::uint64_t> drop_list_;
   std::uint64_t count_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t corrupted_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t delayed_ = 0;
+  std::uint64_t burst_drops_ = 0;
 };
 
 class Link {
@@ -80,6 +135,13 @@ class Link {
     return sim::transmission_time(frame.wire_bytes(), params_.bits_per_s);
   }
 
+  // Carrier state (link flaps): while down, transmissions in both
+  // directions still occupy the wire (the sender's PHY keeps clocking) but
+  // nothing reaches the far end.
+  void set_carrier_up(bool up) { carrier_up_ = up; }
+  [[nodiscard]] bool carrier_up() const { return carrier_up_; }
+  [[nodiscard]] std::uint64_t carrier_drops() const { return carrier_drops_; }
+
   [[nodiscard]] FaultInjector& faults(int from_end) {
     return directions_[check_end(from_end)].faults;
   }
@@ -108,11 +170,15 @@ class Link {
     std::int64_t bytes = 0;
   };
 
+  void deliver_at(FrameSink* dest, sim::SimTime when, Frame frame);
+
   sim::Simulator* sim_;
   LinkParams params_;
   std::string name_;
   Direction directions_[2];
   FrameSink* sinks_[2] = {nullptr, nullptr};
+  bool carrier_up_ = true;
+  std::uint64_t carrier_drops_ = 0;
 };
 
 }  // namespace clicsim::net

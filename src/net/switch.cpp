@@ -36,6 +36,12 @@ int Switch::learned_port(const MacAddr& mac) const {
 }
 
 void Switch::ingress(int port, Frame frame) {
+  // A killed port is electrically dead: frames arriving on it vanish.
+  if (!ports_[static_cast<std::size_t>(port)]->up) {
+    ++port_down_drops_;
+    return;
+  }
+
   // Store-and-forward switches verify the FCS and discard bad frames.
   if (!frame.fcs_ok && !params_.cut_through) {
     ++bad_fcs_;
@@ -72,6 +78,10 @@ void Switch::ingress(int port, Frame frame) {
 
 void Switch::egress(int port, const Frame& frame) {
   auto& p = *ports_[static_cast<std::size_t>(port)];
+  if (!p.up) {
+    ++port_down_drops_;
+    return;
+  }
   if (p.queued >= params_.output_queue_frames) {
     ++dropped_;
     return;

@@ -39,10 +39,22 @@ class Switch {
 
   [[nodiscard]] int ports() const { return static_cast<int>(ports_.size()); }
 
+  // Port kill/restore (fault orchestration): a downed port neither accepts
+  // ingress frames nor forwards egress frames; both are counted.
+  void set_port_up(int port, bool up) {
+    ports_.at(static_cast<std::size_t>(port))->up = up;
+  }
+  [[nodiscard]] bool port_up(int port) const {
+    return ports_.at(static_cast<std::size_t>(port))->up;
+  }
+
   [[nodiscard]] std::uint64_t forwarded() const { return forwarded_; }
   [[nodiscard]] std::uint64_t flooded() const { return flooded_; }
   [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
   [[nodiscard]] std::uint64_t bad_fcs() const { return bad_fcs_; }
+  [[nodiscard]] std::uint64_t port_down_drops() const {
+    return port_down_drops_;
+  }
   [[nodiscard]] std::size_t mac_table_size() const { return table_.size(); }
 
   // The port a MAC was learned on; -1 when unknown.
@@ -61,6 +73,7 @@ class Switch {
     Link* link = nullptr;
     int link_end = -1;
     int queued = 0;
+    bool up = true;
 
     void frame_arrived(Frame frame) override;
   };
@@ -77,6 +90,7 @@ class Switch {
   std::uint64_t flooded_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t bad_fcs_ = 0;
+  std::uint64_t port_down_drops_ = 0;
 };
 
 }  // namespace clicsim::net

@@ -1,0 +1,78 @@
+#include "sim/fault_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/log.hpp"
+
+namespace clicsim::sim {
+
+FaultPlan::FaultPlan(Simulator& sim, std::uint64_t seed)
+    : sim_(&sim), seed_(seed), rng_(seed, "fault-plan") {}
+
+int FaultPlan::add_target(std::string name, Hook fail, Hook restore) {
+  targets_.push_back(
+      Target{std::move(name), std::move(fail), std::move(restore), 0});
+  return static_cast<int>(targets_.size()) - 1;
+}
+
+void FaultPlan::script_at(SimTime t, Hook action) {
+  sim_->at(t, [this, action = std::move(action)] {
+    ++fired_;
+    action();
+  });
+}
+
+void FaultPlan::fail_between(int target, SimTime from, SimTime to) {
+  if (target < 0 || target >= target_count()) {
+    throw std::invalid_argument("FaultPlan: unknown target");
+  }
+  if (to <= from) throw std::invalid_argument("FaultPlan: empty outage");
+  ++outages_;
+  sim_->at(from, [this, target] { enter_failure(target); });
+  sim_->at(to, [this, target] { leave_failure(target); });
+}
+
+void FaultPlan::randomize(const Campaign& campaign) {
+  if (targets_.empty() || campaign.outages <= 0) return;
+  const SimTime span = campaign.end - campaign.start;
+  if (span <= 0) throw std::invalid_argument("FaultPlan: empty campaign");
+  const SimTime min_down = std::max<SimTime>(campaign.min_down, 1);
+  const SimTime max_down = std::max<SimTime>(campaign.max_down, min_down);
+  for (int i = 0; i < campaign.outages; ++i) {
+    const int target = static_cast<int>(
+        rng_.uniform_int(0, target_count() - 1));
+    const SimTime down = rng_.uniform_int(min_down, max_down);
+    // Start early enough that the outage always heals by campaign.end.
+    const SimTime latest_start =
+        std::max<SimTime>(campaign.end - down, campaign.start);
+    const SimTime start =
+        rng_.uniform_int(campaign.start, latest_start);
+    const SimTime end = std::min<SimTime>(start + down, campaign.end);
+    if (end <= start) continue;
+    fail_between(target, start, end);
+  }
+}
+
+void FaultPlan::enter_failure(int target) {
+  Target& t = targets_[static_cast<std::size_t>(target)];
+  ++fired_;
+  if (t.depth++ > 0) return;  // already down: outages nest
+  ++active_;
+  CLICSIM_LOG(*sim_, LogLevel::kDebug, "fault")
+      << "fail " << t.name << " (seed " << seed_ << ")";
+  if (t.fail) t.fail();
+}
+
+void FaultPlan::leave_failure(int target) {
+  Target& t = targets_[static_cast<std::size_t>(target)];
+  ++fired_;
+  if (--t.depth > 0) return;  // an overlapping outage still holds it down
+  --active_;
+  CLICSIM_LOG(*sim_, LogLevel::kDebug, "fault")
+      << "restore " << t.name << " (seed " << seed_ << ")";
+  if (t.restore) t.restore();
+}
+
+}  // namespace clicsim::sim

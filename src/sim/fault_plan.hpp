@@ -1,0 +1,107 @@
+// Cluster-wide fault orchestration: a time-scripted + seeded-random
+// campaign driver.
+//
+// A FaultPlan owns a set of named, toggleable fault *targets* (a link's
+// carrier, a switch port, a NIC's DMA engine — anything with a fail/restore
+// pair) and schedules outages against them on the owning Simulator's clock.
+// Outages come from two sources that compose freely:
+//
+//   * scripts  — fail_between()/script_at() place exact, reviewable events
+//                ("kill port 3 from 10 ms to 25 ms");
+//   * campaigns — randomize() draws (target, start, duration) tuples from a
+//                 named Rng stream seeded by the campaign seed, so an entire
+//                 cluster-wide fault storm replays byte-identically from one
+//                 integer and is independent of every other RNG consumer.
+//
+// Overlapping outages on one target nest (a depth counter): the target's
+// restore hook runs only when the last overlapping outage ends, so hooks
+// never see spurious up/down glitches. Campaign outages are clamped to end
+// by Campaign::end — the bounded-failure contract the chaos soak relies on:
+// after the fault window closes, every target is back up and the protocol's
+// liveness obligations (resolve every confirmed send, quiesce, no orphan
+// timers) become enforceable.
+//
+// The plan is strictly per-Simulator state: parallel sweep workers each own
+// their plan, keeping PR 2's any-`-j` determinism intact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace clicsim::sim {
+
+class FaultPlan {
+ public:
+  using Hook = std::function<void()>;
+
+  FaultPlan(Simulator& sim, std::uint64_t seed);
+
+  // Registers a toggleable target; returns its index. `fail` puts the
+  // target into its failed state, `restore` brings it back.
+  int add_target(std::string name, Hook fail, Hook restore);
+
+  [[nodiscard]] int target_count() const {
+    return static_cast<int>(targets_.size());
+  }
+  [[nodiscard]] const std::string& target_name(int index) const {
+    return targets_.at(static_cast<std::size_t>(index)).name;
+  }
+
+  // --- Scripted faults -----------------------------------------------------
+
+  // Schedules an arbitrary scripted action (e.g. "clear all loss at t").
+  void script_at(SimTime t, Hook action);
+
+  // Fails `target` over [from, to): fail hook at `from`, restore at `to`.
+  void fail_between(int target, SimTime from, SimTime to);
+
+  // --- Seeded-random campaigns --------------------------------------------
+
+  struct Campaign {
+    SimTime start = 0;
+    SimTime end = seconds(1.0);
+    int outages = 4;                       // random outages to schedule
+    SimTime min_down = milliseconds(1.0);  // outage duration bounds
+    SimTime max_down = milliseconds(20.0);
+  };
+
+  // Draws `outages` random (target, start, duration) tuples and schedules
+  // them. Every outage ends by `campaign.end` (bounded failure). No-op when
+  // no targets are registered.
+  void randomize(const Campaign& campaign);
+
+  // --- Introspection -------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] std::uint64_t outages_scheduled() const { return outages_; }
+  [[nodiscard]] std::uint64_t faults_fired() const { return fired_; }
+  // Targets currently in the failed state (0 once a campaign has healed).
+  [[nodiscard]] int active_failures() const { return active_; }
+
+ private:
+  struct Target {
+    std::string name;
+    Hook fail;
+    Hook restore;
+    int depth = 0;  // overlapping outages currently holding the target down
+  };
+
+  void enter_failure(int target);
+  void leave_failure(int target);
+
+  Simulator* sim_;
+  std::uint64_t seed_;
+  Rng rng_;
+  std::vector<Target> targets_;
+  std::uint64_t outages_ = 0;
+  std::uint64_t fired_ = 0;
+  int active_ = 0;
+};
+
+}  // namespace clicsim::sim

@@ -73,9 +73,9 @@ TEST(Channel, OnAckedFiresOnCumulativeAck) {
   Config cfg;
   Channel ch(cfg, ops, 1);
   int acked = 0;
-  ch.send(data_packet(), [&] { ++acked; });
-  ch.send(data_packet(), [&] { ++acked; });
-  ch.send(data_packet(), [&] { ++acked; });
+  ch.send(data_packet(), [&](bool ok) { acked += ok ? 1 : 0; });
+  ch.send(data_packet(), [&](bool ok) { acked += ok ? 1 : 0; });
+  ch.send(data_packet(), [&](bool ok) { acked += ok ? 1 : 0; });
   ClicHeader ack;
   ack.flags = flags::kPureAck;
   ack.ack = 2;  // acks seq 0 and 1
@@ -214,6 +214,137 @@ TEST(Channel, PiggybackAckClearsOwedState) {
   h2.seq = 1;
   ch.packet_in(h2, {}, net::Buffer::zeros(10));
   EXPECT_EQ(ops.acks.size(), 0u);  // threshold (2) not re-reached
+}
+
+TEST(Channel, BackoffGrowsGeometricallyAndCaps) {
+  FakeOps ops;
+  Config cfg;
+  cfg.rto = sim::milliseconds(1.0);
+  cfg.rto_backoff = 2.0;
+  cfg.rto_max = sim::milliseconds(8.0);
+  cfg.rto_jitter = 0.0;  // exact expiry times
+  cfg.max_retries = 100;
+  Channel ch(cfg, ops, 1);
+  ch.send(data_packet());
+  // Expiries at 1, 3, 7, 15, 23, 31, 39, 47 ms: geometric up to the cap,
+  // then linear at the cap — 8 timeouts in 50 ms instead of 50.
+  ops.sim.run_until(sim::milliseconds(50.0));
+  EXPECT_EQ(ch.timeouts(), 8u);
+  EXPECT_EQ(ch.retransmits(), 8u);
+  EXPECT_EQ(ch.current_rto(), cfg.rto_max);
+}
+
+TEST(Channel, ProgressResetsBackoff) {
+  FakeOps ops;
+  Config cfg;
+  cfg.rto = sim::milliseconds(1.0);
+  cfg.rto_backoff = 2.0;
+  cfg.rto_jitter = 0.0;
+  Channel ch(cfg, ops, 1);
+  ch.send(data_packet());
+  ch.send(data_packet());
+  ops.sim.run_until(sim::milliseconds(4.5));  // expiries at 1, 3 ms
+  EXPECT_EQ(ch.backoff_level(), 2);
+  ClicHeader ack;
+  ack.flags = flags::kPureAck;
+  ack.ack = 1;  // fresh progress, one packet still outstanding
+  ch.packet_in(ack, {}, net::Buffer::zeros(0));
+  EXPECT_EQ(ch.backoff_level(), 0);
+  EXPECT_EQ(ch.current_rto(), cfg.rto);
+}
+
+TEST(Channel, GivesUpAfterRetryBudgetAndFailsOutstandingSends) {
+  FakeOps ops;
+  Config cfg;
+  cfg.rto = sim::milliseconds(1.0);
+  cfg.rto_backoff = 2.0;
+  cfg.rto_max = sim::milliseconds(4.0);
+  cfg.rto_jitter = 0.0;
+  cfg.max_retries = 3;
+  cfg.window_packets = 1;  // second send is window-blocked in pending_
+  Channel ch(cfg, ops, 1);
+  std::vector<bool> results;
+  ch.send(data_packet(), [&](bool ok) { results.push_back(ok); });
+  ch.send(data_packet(), [&](bool ok) { results.push_back(ok); });
+  ops.sim.run_until(sim::seconds(1.0));
+  // Retransmits are budgeted, not endless.
+  EXPECT_EQ(ch.retransmits(), 3u);
+  EXPECT_EQ(ch.timeouts(), 4u);  // 3 retries + the expiry that gave up
+  EXPECT_EQ(ch.gave_up(), 1u);
+  // Both sends resolved as failed — transmitted and window-blocked alike.
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0]);
+  EXPECT_FALSE(results[1]);
+  EXPECT_EQ(ch.in_flight(), 0);
+  EXPECT_EQ(ch.pending(), 0u);
+  // No orphan timer keeps ticking after the give-up.
+  EXPECT_EQ(ops.kern.timer_wheel().size(), 0u);
+}
+
+TEST(Channel, FirstSendAfterGiveUpCarriesReset) {
+  FakeOps ops;
+  Config cfg;
+  cfg.rto = sim::milliseconds(1.0);
+  cfg.rto_jitter = 0.0;
+  cfg.max_retries = 0;  // give up on the first expiry
+  Channel ch(cfg, ops, 1);
+  ch.send(data_packet());
+  ops.sim.run_until(sim::milliseconds(10.0));
+  EXPECT_EQ(ch.gave_up(), 1u);
+  ch.send(data_packet());
+  ASSERT_EQ(ops.emitted.size(), 2u);
+  EXPECT_NE(ops.emitted[1].header.flags & flags::kReset, 0);
+  // Only the first post-give-up packet carries the flag.
+  ch.send(data_packet());
+  ASSERT_EQ(ops.emitted.size(), 3u);
+  EXPECT_EQ(ops.emitted[2].header.flags & flags::kReset, 0);
+}
+
+TEST(Channel, ReceiverAdoptsResetForwardOnly) {
+  FakeOps ops;
+  Config cfg;
+  Channel ch(cfg, ops, 1);
+  auto arrive = [&](std::uint32_t seq, std::uint8_t extra = 0) {
+    ClicHeader h;
+    h.seq = seq;
+    h.flags = static_cast<std::uint8_t>(flags::kFirstFragment |
+                                        flags::kLastFragment | extra);
+    ch.packet_in(h, {}, net::Buffer::zeros(10));
+  };
+  arrive(0);
+  EXPECT_EQ(ch.rx_next(), 1u);
+  // The sender abandoned [1, 5) during an outage; seq 5 carries the reset.
+  arrive(5, flags::kReset);
+  EXPECT_EQ(ch.resets_accepted(), 1u);
+  EXPECT_EQ(ch.rx_next(), 6u);
+  EXPECT_EQ(ops.delivered.size(), 2u);
+  // A duplicated/reordered stale reset must not rewind the window.
+  arrive(2, flags::kReset);
+  EXPECT_EQ(ch.resets_accepted(), 1u);
+  EXPECT_EQ(ch.rx_next(), 6u);
+  EXPECT_EQ(ch.duplicates(), 1u);
+  EXPECT_EQ(ops.delivered.size(), 2u);
+}
+
+TEST(Channel, ResetPurgesStaleReorderBuffer) {
+  FakeOps ops;
+  Config cfg;
+  Channel ch(cfg, ops, 1);
+  auto arrive = [&](std::uint32_t seq, std::uint8_t extra = 0) {
+    ClicHeader h;
+    h.seq = seq;
+    h.flags = static_cast<std::uint8_t>(flags::kFirstFragment |
+                                        flags::kLastFragment | extra);
+    ch.packet_in(h, {}, net::Buffer::zeros(10));
+  };
+  arrive(2);  // buffered out-of-order, then its gap is abandoned
+  arrive(7);
+  EXPECT_EQ(ops.delivered.size(), 0u);
+  arrive(4, flags::kReset);  // sender's new base is 4
+  // Seq 2 (below the new base) was purged; 4 delivered; 7 still buffered.
+  EXPECT_EQ(ops.delivered.size(), 1u);
+  EXPECT_EQ(ops.delivered[0].header.seq, 4u);
+  EXPECT_EQ(ch.rx_next(), 5u);
 }
 
 TEST(Channel, RetransmissionDoesNotRefireDescriptorCallback) {

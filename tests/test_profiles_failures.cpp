@@ -64,27 +64,42 @@ TEST(NicProfiles, FastEthernetForcesOneCopyPath) {
 
 // --- Failure modes ----------------------------------------------------------------
 
-TEST(FailureModes, TotalBlackHoleRetriesWithoutCompleting) {
+TEST(FailureModes, TotalBlackHoleFailsCleanlyWithBoundedRetries) {
   apps::ClicBed bed;
   bed.cluster.link(0).faults(0).set_drop_probability(1.0);
   bed.module(0).bind_port(1);
   bed.module(1).bind_port(1);
   bool completed = false;
+  bool ok = true;
+  clic::SendError error = clic::SendError::kNone;
   struct Run {
-    static sim::Task go(clic::ClicModule& m, bool* done) {
-      (void)co_await m.send(1, 1, 1, net::Buffer::zeros(1000),
-                            clic::SendMode::kConfirmed);
+    static sim::Task go(clic::ClicModule& m, bool* done, bool* ok,
+                        clic::SendError* error) {
+      auto st = co_await m.send(1, 1, 1, net::Buffer::zeros(1000),
+                                clic::SendMode::kConfirmed);
       *done = true;
+      *ok = st.ok;
+      *error = st.error;
     }
   };
-  Run::go(bed.module(0), &completed);
-  bed.sim.run_until(sim::milliseconds(200));
-  EXPECT_FALSE(completed);
+  Run::go(bed.module(0), &completed, &ok, &error);
+  bed.sim.run_until(sim::seconds(30));
+  // Bounded failure: the send *resolves* (with a clean error) instead of
+  // retrying forever.
+  EXPECT_TRUE(completed);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(error, clic::SendError::kTimedOut);
   auto* ch = bed.module(0).channel_to(1);
   ASSERT_NE(ch, nullptr);
-  // Keeps retransmitting on the RTO clock (3 ms default): ~60+ attempts.
-  EXPECT_GE(ch->retransmits(), 30u);
-  EXPECT_LE(ch->retransmits(), 120u);
+  // Retransmission traffic over the 30 s black hole is geometric, not
+  // linear: at most the retry budget, not rto-spaced thousands.
+  const auto budget =
+      static_cast<std::uint64_t>(bed.module(0).config().max_retries);
+  EXPECT_GE(ch->retransmits(), 1u);
+  EXPECT_LE(ch->retransmits(), budget);
+  EXPECT_EQ(ch->gave_up(), 1u);
+  // Nothing left ticking afterwards.
+  EXPECT_EQ(ch->in_flight(), 0);
 }
 
 TEST(FailureModes, AsymmetricLossOnlyAcksDropped) {
@@ -109,7 +124,9 @@ TEST(FailureModes, AsymmetricLossOnlyAcksDropped) {
   int got = 0;
   Run::tx(bed.module(0));
   Run::rx(bed.module(1), &got);
-  bed.sim.run_until(sim::milliseconds(100));
+  // Backoff spaces the retries out geometrically, so give it the full
+  // retry budget's horizon rather than 100 ms.
+  bed.sim.run_until(sim::seconds(2));
   EXPECT_EQ(got, 1);  // delivered exactly once despite retransmissions
   auto* ch = bed.module(1).channel_to(0);
   ASSERT_NE(ch, nullptr);

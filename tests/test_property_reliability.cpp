@@ -5,6 +5,7 @@
 // TCP is held to the same standard, and lossless runs pin determinism.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
 
 #include "apps/testbed.hpp"
@@ -153,6 +154,200 @@ TEST_P(ClicCorruption, CorruptedFramesAreDroppedAndRecovered) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ClicCorruption,
                          ::testing::Values(31u, 32u, 33u, 34u));
+
+// Gilbert–Elliott burst loss: unlike independent Bernoulli drops, bursts
+// wipe out whole windows at once (mean burst ~5 frames, 60% loss while in
+// the bad state). Reliability must still hold for both stacks.
+class ClicBurstLoss : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ClicBurstLoss, PayloadSurvivesBurstLoss) {
+  const Case c = GetParam();
+  apps::ClicBed bed;
+  bed.cluster.set_mtu_all(1500);
+  for (int l = 0; l < 2; ++l) {
+    for (int d = 0; d < 2; ++d) {
+      auto& f = bed.cluster.link(l).faults(d);
+      f.set_seed(c.seed + l * 2 + d);
+      // c.loss doubles as the good->bad transition probability.
+      f.set_gilbert_elliott(c.loss, 0.2, 0.0, 0.6);
+    }
+  }
+  bed.module(0).bind_port(1);
+  bed.module(1).bind_port(1);
+
+  net::Buffer payload = net::Buffer::pattern(c.size, c.seed);
+  struct Run {
+    static sim::Task tx(clic::ClicModule& m, net::Buffer d, bool* done) {
+      auto st = co_await m.send(1, 1, 1, std::move(d),
+                                clic::SendMode::kConfirmed);
+      *done = st.ok;
+    }
+    static sim::Task rx(clic::ClicModule& m, net::Buffer expect, int* ok) {
+      clic::Message got = co_await m.recv(1);
+      if (got.data.content_equals(expect)) ++*ok;
+    }
+  };
+  bool sent = false;
+  int delivered = 0;
+  Run::tx(bed.module(0), payload, &sent);
+  Run::rx(bed.module(1), payload, &delivered);
+  bed.sim.run_until(sim::seconds(60));
+
+  EXPECT_TRUE(sent) << "confirmed send never completed";
+  EXPECT_EQ(delivered, 1) << "message lost or duplicated";
+  std::uint64_t bursts = 0;
+  for (int l = 0; l < 2; ++l) {
+    for (int d = 0; d < 2; ++d) {
+      bursts += bed.cluster.link(l).faults(d).burst_drops();
+    }
+  }
+  EXPECT_GT(bursts, 0u) << "campaign never entered a burst; weak test";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BurstSweep, ClicBurstLoss,
+    ::testing::Values(Case{0.05, 30000, 41}, Case{0.10, 60000, 42},
+                      Case{0.05, 30000, 43}, Case{0.05, 120000, 44}),
+    [](const auto& info) {
+      return "g2b" + std::to_string(static_cast<int>(info.param.loss * 100)) +
+             "_size" + std::to_string(info.param.size) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+class TcpBurstLoss : public ::testing::TestWithParam<Case> {};
+
+TEST_P(TcpBurstLoss, StreamSurvivesBurstLoss) {
+  const Case c = GetParam();
+  apps::TcpBed bed;
+  bed.cluster.set_mtu_all(1500);
+  for (int l = 0; l < 2; ++l) {
+    for (int d = 0; d < 2; ++d) {
+      auto& f = bed.cluster.link(l).faults(d);
+      f.set_seed(c.seed + 200 + l * 2 + d);
+      f.set_gilbert_elliott(c.loss, 0.2, 0.0, 0.6);
+    }
+  }
+  bed.tcp[1]->listen(5000);
+
+  net::Buffer payload = net::Buffer::pattern(c.size, c.seed);
+  struct Run {
+    static sim::Task tx(tcpip::TcpStack& t, net::Buffer d) {
+      auto& s = t.create_socket();
+      (void)co_await s.connect(1, 5000);
+      (void)co_await s.send(std::move(d));
+      s.close();
+    }
+    static sim::Task rx(tcpip::TcpStack& t, net::Buffer expect, int* ok) {
+      tcpip::TcpSocket* s = co_await t.accept(5000);
+      net::Buffer got = co_await s->recv_exact(expect.size());
+      if (got.content_equals(expect)) ++*ok;
+    }
+  };
+  int delivered = 0;
+  Run::tx(*bed.tcp[0], payload);
+  Run::rx(*bed.tcp[1], payload, &delivered);
+  bed.sim.run_until(sim::seconds(120));
+  EXPECT_EQ(delivered, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BurstSweep, TcpBurstLoss,
+    ::testing::Values(Case{0.02, 30000, 51}, Case{0.05, 60000, 52}),
+    [](const auto& info) {
+      return "g2b" + std::to_string(static_cast<int>(info.param.loss * 100)) +
+             "_size" + std::to_string(info.param.size) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+// Bounded-failure semantics: a black-holed confirmed send must resolve
+// (ok == false, kTimedOut) within the channel's retry budget, not hang.
+TEST(BoundedFailure, BlackHoledSendResolvesWithinBudget) {
+  apps::ClicBed bed;
+  bed.cluster.link(0).faults(0).set_drop_probability(1.0);
+  bed.module(0).bind_port(1);
+  bed.module(1).bind_port(1);
+
+  bool resolved = false;
+  clic::SendStatus status;
+  struct Run {
+    static sim::Task go(clic::ClicModule& m, bool* done,
+                        clic::SendStatus* st) {
+      *st = co_await m.send(1, 1, 1, net::Buffer::zeros(2000),
+                            clic::SendMode::kConfirmed);
+      *done = true;
+    }
+  };
+  Run::go(bed.module(0), &resolved, &status);
+
+  // Worst-case give-up time: sum of the (jittered) geometric RTO ladder.
+  const auto& cfg = bed.module(0).config();
+  sim::SimTime budget = 0;
+  sim::SimTime rto = cfg.rto;
+  for (int i = 0; i <= cfg.max_retries; ++i) {
+    budget += static_cast<sim::SimTime>(
+        static_cast<double>(std::min(rto, cfg.rto_max)) *
+        (1.0 + cfg.rto_jitter));
+    rto = static_cast<sim::SimTime>(static_cast<double>(rto) *
+                                    cfg.rto_backoff);
+  }
+  bed.sim.run_until(2 * budget);
+
+  EXPECT_TRUE(resolved) << "send hung past twice the retry budget";
+  EXPECT_FALSE(status.ok);
+  EXPECT_EQ(status.error, clic::SendError::kTimedOut);
+  EXPECT_LE(bed.sim.now(), 2 * budget);
+}
+
+// A peer that vanishes mid-transfer (carrier down longer than the retry
+// budget) must fail cleanly, then resynchronize via the reset handshake
+// once the carrier heals: the next confirmed send succeeds.
+TEST(BoundedFailure, PartitionedPeerRecoversAfterHeal) {
+  apps::ClicBed bed;
+  bed.module(0).bind_port(1);
+  bed.module(1).bind_port(1);
+
+  // Isolate node 1 for longer than the worst-case retry ladder (~2 s with
+  // full jitter), then heal well before the retry fires at ~4.5 s.
+  bed.cluster.link(1).set_carrier_up(false);
+  bed.sim.at(sim::seconds(2.5),
+             [&] { bed.cluster.link(1).set_carrier_up(true); });
+
+  net::Buffer second = net::Buffer::pattern(4000, 99);
+  struct Run {
+    static sim::Task go(sim::Simulator& sim, clic::ClicModule& m,
+                        net::Buffer payload, clic::SendStatus* first,
+                        clic::SendStatus* retry) {
+      *first = co_await m.send(1, 1, 1, net::Buffer::zeros(2000),
+                               clic::SendMode::kConfirmed);
+      // Wait out the partition, then try again over the healed link.
+      co_await sim::Delay{sim, sim::seconds(3)};
+      *retry = co_await m.send(1, 1, 1, std::move(payload),
+                               clic::SendMode::kConfirmed);
+    }
+    static sim::Task rx(clic::ClicModule& m, net::Buffer expect, int* ok) {
+      for (;;) {
+        clic::Message got = co_await m.recv(1);
+        if (got.data.content_equals(expect)) ++*ok;
+      }
+    }
+  };
+  clic::SendStatus first, retry;
+  int delivered = 0;
+  Run::go(bed.sim, bed.module(0), second, &first, &retry);
+  Run::rx(bed.module(1), second, &delivered);
+  bed.sim.run_until(sim::seconds(30));
+
+  EXPECT_FALSE(first.ok) << "send into a dead link should fail cleanly";
+  EXPECT_EQ(first.error, clic::SendError::kTimedOut);
+  EXPECT_TRUE(retry.ok) << "channel did not recover after the heal";
+  EXPECT_EQ(delivered, 1);
+  auto* ch = bed.module(0).channel_to(1);
+  ASSERT_NE(ch, nullptr);
+  EXPECT_EQ(ch->gave_up(), 1u);
+  auto* peer = bed.module(1).channel_to(0);
+  ASSERT_NE(peer, nullptr);
+  EXPECT_EQ(peer->resets_accepted(), 1u) << "resync handshake never landed";
+}
 
 // Determinism: the same seed and parameters give bit-identical runs.
 class Determinism : public ::testing::TestWithParam<std::int64_t> {};
