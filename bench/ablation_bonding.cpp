@@ -13,8 +13,9 @@ struct BondRow {
   unsigned long long reordered = 0;
 };
 
-BondRow bond_point(bool fast_ethernet, int nics) {
+BondRow bond_point(bool fast_ethernet, int nics, int shards) {
   apps::Scenario s;
+  s.cluster.shards = shards;
   s.cluster.nics_per_node = nics;
   s.clic.channel_bonding = nics > 1;
   if (fast_ethernet) {
@@ -44,8 +45,8 @@ BondRow bond_point(bool fast_ethernet, int nics) {
   };
   sim::SimTime t_end = 0;
   Drive::tx(a, message, count);
-  Drive::rx(bed.sim, b, count, t_end);
-  bed.sim.run();
+  Drive::rx(bed.sim_of(1), b, count, t_end);
+  bed.run();
 
   BondRow row;
   row.mbps = static_cast<double>(message * count) * 8e3 /
@@ -67,8 +68,8 @@ int main(int argc, char** argv) {
   apps::SweepRunner<BondRow> runner(opt);
   for (const bool fast_ethernet : {true, false}) {
     for (int nics = 1; nics <= 4; ++nics) {
-      runner.add([fast_ethernet, nics] {
-        return bond_point(fast_ethernet, nics);
+      runner.add([fast_ethernet, nics, shards = opt.shards] {
+        return bond_point(fast_ethernet, nics, shards);
       });
     }
   }

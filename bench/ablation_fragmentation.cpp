@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   apps::SweepRunner<apps::StreamStats> runner(opt);
   for (const auto& cell : cells) {
     apps::Scenario s;
+    s.cluster.shards = opt.shards;
     s.cluster.nic = hw::NicProfile::ga620();
     s.mtu = cell.mtu;
     s.clic.use_nic_fragmentation = cell.frag;

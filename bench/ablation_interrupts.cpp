@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   bench::heading("Ablation — interrupt rate and coalescing (section 2)");
 
   apps::Scenario s;
+  s.cluster.shards = opt.shards;
   s.mtu = 1500;
 
   struct Point {

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   for (const std::int64_t mtu : mtus) {
     for (const auto& row : rows) {
       apps::Scenario s;
+      s.cluster.shards = opt.shards;
       s.mtu = mtu;
       s.clic.tx_path = row.path;
       runner.add(

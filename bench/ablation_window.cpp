@@ -9,8 +9,9 @@ using namespace clicsim;
 namespace {
 
 std::function<double()> run_job(int window, int ack_every,
-                                double ack_delay_us) {
+                                double ack_delay_us, int shards) {
   apps::Scenario s;
+  s.cluster.shards = shards;
   s.mtu = 1500;
   s.clic.window_packets = window;
   s.clic.ack_every = ack_every;
@@ -29,9 +30,11 @@ int main(int argc, char** argv) {
                                          {8, 100},  {16, 200}, {32, 400}};
 
   apps::SweepRunner<double> runner(opt);
-  for (int w : windows) runner.add(run_job(w, 4, 50));
-  for (const auto& [every, delay] : acks) runner.add(run_job(64, every, delay));
-  runner.add(run_job(128, 4, 50));  // saturation check
+  for (int w : windows) runner.add(run_job(w, 4, 50, opt.shards));
+  for (const auto& [every, delay] : acks) {
+    runner.add(run_job(64, every, delay, opt.shards));
+  }
+  runner.add(run_job(128, 4, 50, opt.shards));  // saturation check
   const auto rows = runner.run();
 
   bench::subheading("window size (ack_every=4, ack_delay=50us)");

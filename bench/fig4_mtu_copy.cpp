@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
       "Figure 4 — CLIC bandwidth: MTU 9000/1500 x 0-copy/1-copy");
 
   apps::Scenario s;
+  s.cluster.shards = opt.shards;
   s.pingpong_reps = 3;
   const auto sizes = apps::sweep_sizes(16, 8 * 1024 * 1024, 3);
 

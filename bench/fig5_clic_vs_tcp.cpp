@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
   bench::heading("Figure 5 — CLIC vs TCP/IP, MTU 9000 and 1500");
 
   apps::Scenario s;
+  s.cluster.shards = opt.shards;
   s.pingpong_reps = 3;
   const auto sizes = apps::sweep_sizes(16, 8 * 1024 * 1024, 3);
 

@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
   bench::heading("Figure 6 — CLIC, MPI-CLIC, MPI-TCP, PVM-TCP");
 
   apps::Scenario s;
+  s.cluster.shards = opt.shards;
   s.pingpong_reps = 3;
   const auto sizes = apps::sweep_sizes(16, 8 * 1024 * 1024, 3);
 

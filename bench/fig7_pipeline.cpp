@@ -94,6 +94,7 @@ int main(int argc, char** argv) {
   const std::int64_t kPayload = 1400;
 
   apps::Scenario stock;
+  stock.cluster.shards = opt.shards;
   stock.pingpong_reps = 8;
   apps::Scenario improved = stock;
   improved.clic.direct_dispatch = true;

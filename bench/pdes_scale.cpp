@@ -1,0 +1,209 @@
+// PDES scaling benchmark: one large CLIC scenario sharded across cores.
+//
+// A 64-node (configurable) cluster runs a ring-neighbor storm of confirmed
+// sends: node n ships `--messages` back-to-back confirmed messages to node
+// (n+1) mod N while receiving the same stream from (n-1) mod N. This is
+// the shape the intra-scenario shard engine is built for — many nodes,
+// all active, one switch — unlike the figure sweeps whose 2-node
+// scenarios parallelize across sweep points (-j) instead.
+//
+// stdout is a deterministic digest of the run (per-node delivery
+// counters, total events, final sim clock) and MUST be byte-identical at
+// any --shards value; wall-clock timing goes to stderr so the comparison
+// `pdes_scale --shards 1` vs `pdes_scale --shards $(nproc)` can diff
+// stdout directly while the speedup is read off stderr.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "apps/testbed.hpp"
+#include "sim/task.hpp"
+
+using namespace clicsim;
+
+namespace {
+
+struct Options {
+  int shards = 1;
+  int nodes = 64;
+  int messages = 48;          // confirmed sends per node
+  std::int64_t bytes = 4096;  // payload per message
+};
+
+[[noreturn]] void usage(const char* prog, int code) {
+  std::FILE* out = code == 0 ? stdout : stderr;
+  std::fprintf(out,
+               "usage: %s [--shards N] [--nodes N] [--messages N]"
+               " [--bytes N] [-j N]\n"
+               "  --shards N    PDES worker shards for the one scenario\n"
+               "                (default 1; stdout is byte-identical at\n"
+               "                any shard count)\n"
+               "  --nodes N     cluster size (default 64)\n"
+               "  --messages N  confirmed sends per node (default 48)\n"
+               "  --bytes N     payload bytes per message (default 4096)\n"
+               "  -j N          accepted for script compatibility; this\n"
+               "                binary runs exactly one scenario\n",
+               prog);
+  std::exit(code);
+}
+
+long parse_long(const char* prog, const char* text, long lo, long hi) {
+  char* end = nullptr;
+  const long n = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || n < lo || n > hi) usage(prog, 2);
+  return n;
+}
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  const char* prog = argc > 0 ? argv[0] : "pdes_scale";
+  auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(prog, 2);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "-h") == 0 || std::strcmp(arg, "--help") == 0) {
+      usage(prog, 0);
+    } else if (std::strcmp(arg, "--shards") == 0) {
+      o.shards = static_cast<int>(parse_long(prog, value(i), 1, 4096));
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      o.shards = static_cast<int>(parse_long(prog, arg + 9, 1, 4096));
+    } else if (std::strcmp(arg, "--nodes") == 0) {
+      o.nodes = static_cast<int>(parse_long(prog, value(i), 2, 4096));
+    } else if (std::strcmp(arg, "--messages") == 0) {
+      o.messages = static_cast<int>(parse_long(prog, value(i), 1, 1 << 20));
+    } else if (std::strcmp(arg, "--bytes") == 0) {
+      o.bytes = parse_long(prog, value(i), 1, 16 << 20);
+    } else if (std::strcmp(arg, "-j") == 0 ||
+               std::strcmp(arg, "--jobs") == 0) {
+      (void)parse_long(prog, value(i), 1, 4096);
+    } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
+      (void)parse_long(prog, arg + 2, 1, 4096);
+    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      (void)parse_long(prog, arg + 7, 1, 4096);
+    } else {
+      usage(prog, 2);
+    }
+  }
+  return o;
+}
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv(std::uint64_t& h, std::uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+struct NodeCounters {
+  int sent_ok = 0;
+  int sent_failed = 0;
+  int received = 0;
+  int corrupt = 0;
+};
+
+struct Drive {
+  static sim::Task tx(clic::ClicModule& mod, int dst, int port, int count,
+                      std::int64_t bytes, std::uint64_t seed,
+                      NodeCounters* c) {
+    for (int k = 0; k < count; ++k) {
+      net::Buffer data = net::Buffer::pattern(
+          bytes, seed ^ (static_cast<std::uint64_t>(k) * 0x9e3779b9u));
+      auto status = co_await mod.send(port, dst, port, std::move(data),
+                                      clic::SendMode::kConfirmed);
+      if (status.ok) {
+        ++c->sent_ok;
+      } else {
+        ++c->sent_failed;
+      }
+    }
+  }
+  static sim::Task rx(clic::ClicModule& mod, int port, int count,
+                      std::int64_t bytes, std::uint64_t seed,
+                      NodeCounters* c) {
+    for (int k = 0; k < count; ++k) {
+      clic::Message got = co_await mod.recv(port);
+      net::Buffer expect = net::Buffer::pattern(
+          bytes, seed ^ (static_cast<std::uint64_t>(k) * 0x9e3779b9u));
+      if (got.data.size() == expect.size() &&
+          got.data.content_equals(expect)) {
+        ++c->received;
+      } else {
+        ++c->corrupt;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse_args(argc, argv);
+
+  os::ClusterConfig cc;
+  cc.nodes = o.nodes;
+  cc.shards = o.shards;
+  apps::ClicBed bed(cc);
+
+  const int port = 101;  // CLIC wire ports are 8-bit
+  std::vector<NodeCounters> counters(static_cast<std::size_t>(o.nodes));
+  for (int n = 0; n < o.nodes; ++n) {
+    bed.module(n).bind_port(port);
+  }
+  for (int n = 0; n < o.nodes; ++n) {
+    const int dst = (n + 1) % o.nodes;
+    // The stream n -> dst is seeded by the sender index so tx and rx agree
+    // on the expected payloads without sharing a Buffer across shards.
+    const std::uint64_t seed = 0x5eedu + static_cast<std::uint64_t>(n);
+    NodeCounters* c = &counters[static_cast<std::size_t>(n)];
+    NodeCounters* cd = &counters[static_cast<std::size_t>(dst)];
+    bed.sim_of(n).at(0, [&bed, n, dst, c, &o, seed] {
+      Drive::tx(bed.module(n), dst, port, o.messages, o.bytes, seed, c);
+    });
+    Drive::rx(bed.module(dst), port, o.messages, o.bytes, seed, cd);
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  bed.run();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  std::uint64_t digest = kFnvOffset;
+  int delivered = 0;
+  int failures = 0;
+  for (int n = 0; n < o.nodes; ++n) {
+    const NodeCounters& c = counters[static_cast<std::size_t>(n)];
+    fnv(digest, static_cast<std::uint64_t>(n));
+    fnv(digest, static_cast<std::uint64_t>(c.sent_ok));
+    fnv(digest, static_cast<std::uint64_t>(c.sent_failed));
+    fnv(digest, static_cast<std::uint64_t>(c.received));
+    fnv(digest, static_cast<std::uint64_t>(c.corrupt));
+    delivered += c.received;
+    failures += c.sent_failed + c.corrupt;
+  }
+  fnv(digest, bed.events_executed());
+  fnv(digest, static_cast<std::uint64_t>(bed.now()));
+
+  std::printf("pdes_scale nodes=%d messages=%d bytes=%lld\n", o.nodes,
+              o.messages, static_cast<long long>(o.bytes));
+  std::printf("  delivered %d/%d  failures %d\n", delivered,
+              o.nodes * o.messages, failures);
+  std::printf("  events %llu  finished_at_us %.3f\n",
+              static_cast<unsigned long long>(bed.events_executed()),
+              sim::to_us(bed.now()));
+  std::printf("  digest %016llx\n",
+              static_cast<unsigned long long>(digest));
+
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start)
+          .count();
+  std::fprintf(stderr, "pdes_scale: shards=%d wall_ms=%.1f\n", o.shards,
+               wall_ms);
+  return delivered == o.nodes * o.messages && failures == 0 ? 0 : 1;
+}

@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   bench::heading("Headline table — latency / bandwidth / comparisons");
 
   apps::Scenario s;
+  s.cluster.shards = opt.shards;
   s.pingpong_reps = 3;
 
   apps::Scenario s1500 = s;
@@ -65,7 +66,7 @@ int main(int argc, char** argv) {
     };
     Run::tx(a);
     Run::rx(b);
-    vb.sim.run();
+    vb.run();
     return vb.cluster.node(1).cpu().utilization();
   });
   const auto rows = runner.run();

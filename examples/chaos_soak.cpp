@@ -1,12 +1,14 @@
 // Chaos soak: replay a seeded cluster-wide fault campaign against CLIC and
 // TCP and print each campaign's digest plus the fault/degradation report.
 //
-//   ./chaos_soak            # seeds 1..4, both stacks
-//   ./chaos_soak 7          # one seed, both stacks
-//   ./chaos_soak 7 clic     # one seed, one stack
+//   ./chaos_soak                       # seeds 1..4, both stacks
+//   ./chaos_soak 7                     # one seed, both stacks
+//   ./chaos_soak 7 clic                # one seed, one stack
+//   ./chaos_soak --shards 4 7 clic     # same campaign, 4 PDES shards
 //
 // Every line is deterministic for a given seed — a failing CI campaign is
-// reproduced by passing the seed it printed.
+// reproduced by passing the seed it printed — and is byte-identical at any
+// --shards value.
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
@@ -17,6 +19,17 @@
 
 int main(int argc, char** argv) {
   using namespace clicsim;
+
+  int shards = 1;
+  if (argc > 2 && std::string(argv[1]) == "--shards") {
+    shards = std::atoi(argv[2]);
+    if (shards < 1) {
+      std::cerr << "chaos_soak: --shards needs a positive count\n";
+      return 2;
+    }
+    argv += 2;
+    argc -= 2;
+  }
 
   std::vector<std::uint64_t> seeds = {1, 2, 3, 4};
   if (argc > 1) seeds = {std::strtoull(argv[1], nullptr, 10)};
@@ -33,6 +46,7 @@ int main(int argc, char** argv) {
       apps::ChaosOptions o;
       o.stack = stack;
       o.seed = seed;
+      o.shards = shards;
       const apps::ChaosReport r = apps::run_chaos_campaign(o);
       std::cout << r.summary() << '\n';
       if (!r.liveness_ok()) {

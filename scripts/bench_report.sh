@@ -13,7 +13,7 @@ FILTER='BM_ScheduleDispatch|BM_Fig5StyleSweep'
 
 cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j"$(nproc)" --target micro_engine fig5_clic_vs_tcp \
-  >/dev/null
+  pdes_scale >/dev/null
 
 "$BUILD/bench/micro_engine" \
   --benchmark_filter="$FILTER" \
@@ -40,8 +40,44 @@ NPROC=$(nproc)
 fig5_ms=$(time_fig5 1)
 fig5_par_ms=$(time_fig5 "$NPROC")
 
+# Intra-scenario PDES rows: the same fig5 sweep with each simulation
+# sharded (-j1 so only the shard engine provides parallelism), plus the
+# 64-node pdes_scale scenario — the topology sharding is actually built
+# for. Sharded stdout must be byte-identical to --shards 1; on a 1-core
+# host the speedup columns are expected ~1.0x and flagged in the JSON.
+time_fig5_shards() {
+  local start end
+  start=$(date +%s%N)
+  "$BUILD/bench/fig5_clic_vs_tcp" -j 1 --shards "$1" \
+    > "$BUILD/fig5_report_sh$1.txt"
+  end=$(date +%s%N)
+  echo $(( (end - start) / 1000000 ))
+}
+fig5_sh1_ms=$(time_fig5_shards 1)
+fig5_shN_ms=$(time_fig5_shards "$NPROC")
+cmp "$BUILD/fig5_report_sh1.txt" "$BUILD/fig5_report_sh$NPROC.txt" || {
+  echo "bench_report: fig5 sharded stdout diverged from --shards 1" >&2
+  exit 1
+}
+
+time_pdes() {
+  local start end
+  start=$(date +%s%N)
+  "$BUILD/bench/pdes_scale" --shards "$1" \
+    > "$BUILD/pdes_scale_sh$1.txt" 2> /dev/null
+  end=$(date +%s%N)
+  echo $(( (end - start) / 1000000 ))
+}
+pdes_sh1_ms=$(time_pdes 1)
+pdes_shN_ms=$(time_pdes "$NPROC")
+cmp "$BUILD/pdes_scale_sh1.txt" "$BUILD/pdes_scale_sh$NPROC.txt" || {
+  echo "bench_report: pdes_scale sharded stdout diverged from --shards 1" >&2
+  exit 1
+}
+
 python3 - "$BUILD/micro_engine.json" "$fig5_ms" "$ROOT/BENCH_engine.json" \
-  "$fig5_par_ms" "$NPROC" "$BUILD/micro_engine_nopool.json" <<'PY'
+  "$fig5_par_ms" "$NPROC" "$BUILD/micro_engine_nopool.json" \
+  "$fig5_sh1_ms" "$fig5_shN_ms" "$pdes_sh1_ms" "$pdes_shN_ms" <<'PY'
 import json
 import sys
 
@@ -94,6 +130,41 @@ rows.append({
     "wall_ms": fig5_par_ms,
     "sim_events": None,
 })
+
+# Intra-scenario PDES (shard engine) rows. On a single-core host the
+# sharded runs cannot go faster than --shards 1 — the note keeps that
+# visible so a ~1.0x speedup there is not read as a regression.
+fig5_sh1, fig5_shn, pdes_sh1, pdes_shn = map(float, sys.argv[7:11])
+caveat = (
+    "single-core host: shard speedup unmeasurable here"
+    if nproc == 1 else None
+)
+
+
+def shard_row(bench, ms):
+    row = {
+        "bench": bench,
+        "events_per_sec": None,
+        "wall_ms": ms,
+        "sim_events": None,
+    }
+    if caveat:
+        row["note"] = caveat
+    return row
+
+
+rows.append(shard_row("fig5_clic_vs_tcp -j1 --shards 1", fig5_sh1))
+rows.append(
+    shard_row(f"fig5_clic_vs_tcp -j1 --shards {nproc} (nproc)", fig5_shn))
+rows.append(shard_row("pdes_scale --shards 1 (64 nodes)", pdes_sh1))
+rows.append(
+    shard_row(f"pdes_scale --shards {nproc} (nproc, 64 nodes)", pdes_shn))
+speedup = shard_row(
+    f"pdes_scale shard speedup (--shards 1 / --shards {nproc})",
+    pdes_shn,
+)
+speedup["speedup"] = (pdes_sh1 / pdes_shn) if pdes_shn > 0 else None
+rows.append(speedup)
 with open(out_path, "w") as f:
     json.dump(rows, f, indent=2)
     f.write("\n")

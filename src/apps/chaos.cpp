@@ -51,19 +51,38 @@ void configure_link_faults(os::Cluster& cluster, const ChaosOptions& o) {
   }
 }
 
-void clear_link_faults(os::Cluster& cluster) {
-  for (int i = 0; i < cluster.size(); ++i) {
-    for (int j = 0; j < cluster.config().nics_per_node; ++j) {
-      for (int d = 0; d < 2; ++d) {
-        net::FaultInjector& f = cluster.link(i, j).faults(d);
-        f.clear_gilbert_elliott();
-        f.set_drop_probability(0.0);
-        f.set_corrupt_probability(0.0);
-        f.set_duplicate_probability(0.0);
-        f.set_delay(0.0, 0);
+void clear_one_injector(net::FaultInjector& f) {
+  f.clear_gilbert_elliott();
+  f.set_drop_probability(0.0);
+  f.set_corrupt_probability(0.0);
+  f.set_duplicate_probability(0.0);
+  f.set_delay(0.0, 0);
+}
+
+// Heals every link injector at `when`. A direction's injector lives on the
+// sending end's shard, so the clears are split into one scripted piece per
+// owning simulator (switch side first — it carries the fired-fault count);
+// in a single-shard run every piece lands on the same simulator and the
+// effect (and the plan's telemetry) is exactly the historical single
+// clear-all event.
+void schedule_clear_link_faults(sim::FaultPlan& plan, os::Cluster& cluster,
+                                sim::SimTime when) {
+  std::vector<std::pair<sim::Simulator*, sim::FaultPlan::Hook>> parts;
+  parts.emplace_back(&cluster.switch_sim(), [&cluster] {
+    for (int i = 0; i < cluster.size(); ++i) {
+      for (int j = 0; j < cluster.config().nics_per_node; ++j) {
+        clear_one_injector(cluster.link(i, j).faults(1));
       }
     }
+  });
+  for (int i = 0; i < cluster.size(); ++i) {
+    parts.emplace_back(&cluster.sim_of_node(i), [&cluster, i] {
+      for (int j = 0; j < cluster.config().nics_per_node; ++j) {
+        clear_one_injector(cluster.link(i, j).faults(0));
+      }
+    });
   }
+  plan.script_parts(when, std::move(parts));
 }
 
 // The hard partition: longer than the CLIC channel's full retry budget
@@ -143,6 +162,7 @@ ChaosReport run_clic(const ChaosOptions& o) {
 
   os::ClusterConfig cc;
   cc.nodes = o.nodes;
+  cc.shards = o.shards;
   clic::Config clc;
   clc.seed = o.seed;
   // Desynchronize retransmission across channels that black-hole together;
@@ -153,7 +173,7 @@ ChaosReport run_clic(const ChaosOptions& o) {
   sim::FaultPlan plan(bed.sim, o.seed);
   register_cluster_targets(plan, bed.cluster);
   configure_link_faults(bed.cluster, o);
-  plan.script_at(o.fault_window, [&bed] { clear_link_faults(bed.cluster); });
+  schedule_clear_link_faults(plan, bed.cluster, o.fault_window);
   if (o.hard_partition) schedule_hard_partition(plan, bed.cluster, o.seed);
 
   sim::FaultPlan::Campaign campaign;
@@ -208,15 +228,22 @@ ChaosReport run_clic(const ChaosOptions& o) {
              : (o.fault_window * static_cast<sim::SimTime>(m)) /
                    static_cast<sim::SimTime>(std::max(2 * o.messages, 1));
     MessageState* st = &states[static_cast<std::size_t>(m)];
-    bed.sim.at(start, [&bed, m, st, &payloads, nodes = o.nodes] {
-      Run::tx(bed.module(chaos_src(m, nodes)), chaos_dst(m, nodes), 10 + m,
-              payloads[static_cast<std::size_t>(m)], st);
-    });
+    // Each capture gets its own detached payload copy (made here, on the
+    // controlling thread): the tx copy travels to the source shard, the rx
+    // copy to the destination shard, and the shared pattern block in
+    // `payloads` is never touched off-thread.
+    bed.sim_of(chaos_src(m, o.nodes))
+        .at(start, [&bed, m, st, nodes = o.nodes,
+                    data = payloads[static_cast<std::size_t>(m)]
+                               .detached()]() mutable {
+          Run::tx(bed.module(chaos_src(m, nodes)), chaos_dst(m, nodes),
+                  10 + m, std::move(data), st);
+        });
     Run::rx(bed.module(chaos_dst(m, o.nodes)), 10 + m,
-            payloads[static_cast<std::size_t>(m)], st);
+            payloads[static_cast<std::size_t>(m)].detached(), st);
   }
 
-  bed.sim.run_until(o.deadline);
+  bed.run_until(o.deadline);
 
   // A duplicate that arrived after the receiver completed is still queued
   // on the port.
@@ -227,11 +254,11 @@ ChaosReport run_clic(const ChaosOptions& o) {
   }
 
   finalize_invariants(r, states);
-  r.quiesced = !bed.sim.pending();
+  r.quiesced = !bed.pending();
   r.timers_clean = timers_clean(bed.cluster);
   r.outages_scheduled = plan.outages_scheduled();
   r.fault_events = plan.faults_fired();
-  r.finished_at = bed.sim.now();
+  r.finished_at = bed.now();
   collect_fault_telemetry(r, bed.cluster);
   for (int i = 0; i < bed.cluster.size(); ++i) {
     for (int peer = 0; peer < bed.cluster.size(); ++peer) {
@@ -254,12 +281,13 @@ ChaosReport run_tcp(const ChaosOptions& o) {
 
   os::ClusterConfig cc;
   cc.nodes = o.nodes;
+  cc.shards = o.shards;
   TcpBed bed(cc);
 
   sim::FaultPlan plan(bed.sim, o.seed);
   register_cluster_targets(plan, bed.cluster);
   configure_link_faults(bed.cluster, o);
-  plan.script_at(o.fault_window, [&bed] { clear_link_faults(bed.cluster); });
+  schedule_clear_link_faults(plan, bed.cluster, o.fault_window);
   if (o.hard_partition) schedule_hard_partition(plan, bed.cluster, o.seed);
 
   sim::FaultPlan::Campaign campaign;
@@ -313,23 +341,26 @@ ChaosReport run_tcp(const ChaosOptions& o) {
              : (o.fault_window * static_cast<sim::SimTime>(m)) /
                    static_cast<sim::SimTime>(std::max(2 * o.messages, 1));
     MessageState* st = &states[static_cast<std::size_t>(m)];
-    bed.sim.at(start, [&bed, m, st, &payloads, nodes = o.nodes] {
-      Run::tx(*bed.tcp[static_cast<std::size_t>(chaos_src(m, nodes))],
-              chaos_dst(m, nodes), 5000 + m,
-              payloads[static_cast<std::size_t>(m)], st);
-    });
+    // Detached copies per capture, as in the CLIC run.
+    bed.sim_of(chaos_src(m, o.nodes))
+        .at(start, [&bed, m, st, nodes = o.nodes,
+                    data = payloads[static_cast<std::size_t>(m)]
+                               .detached()]() mutable {
+          Run::tx(*bed.tcp[static_cast<std::size_t>(chaos_src(m, nodes))],
+                  chaos_dst(m, nodes), 5000 + m, std::move(data), st);
+        });
     Run::rx(*bed.tcp[static_cast<std::size_t>(chaos_dst(m, o.nodes))],
-            5000 + m, payloads[static_cast<std::size_t>(m)], st);
+            5000 + m, payloads[static_cast<std::size_t>(m)].detached(), st);
   }
 
-  bed.sim.run_until(o.deadline);
+  bed.run_until(o.deadline);
 
   finalize_invariants(r, states);
-  r.quiesced = !bed.sim.pending();
+  r.quiesced = !bed.pending();
   r.timers_clean = timers_clean(bed.cluster);
   r.outages_scheduled = plan.outages_scheduled();
   r.fault_events = plan.faults_fired();
-  r.finished_at = bed.sim.now();
+  r.finished_at = bed.now();
   collect_fault_telemetry(r, bed.cluster);
   return r;
 }
@@ -340,14 +371,31 @@ void register_cluster_targets(sim::FaultPlan& plan, os::Cluster& cluster) {
   for (int i = 0; i < cluster.size(); ++i) {
     for (int j = 0; j < cluster.config().nics_per_node; ++j) {
       net::Link* link = &cluster.link(i, j);
-      plan.add_target("carrier " + link->name(),
-                      [link] { link->set_carrier_up(false); },
-                      [link] { link->set_carrier_up(true); });
+      if (cluster.shard_of_node(i) == cluster.switch_shard()) {
+        plan.add_target("carrier " + link->name(),
+                        [link] { link->set_carrier_up(false); },
+                        [link] { link->set_carrier_up(true); });
+      } else {
+        // Cross-shard link: each carrier half flips on the shard that owns
+        // that sending end (switch side is the primary part, so telemetry
+        // and logging match the single-shard target exactly).
+        std::vector<sim::FaultPlan::Part> parts(2);
+        parts[0].sim = &link->end_sim(1);
+        parts[0].fail = [link] { link->set_carrier_up_from(1, false); };
+        parts[0].restore = [link] { link->set_carrier_up_from(1, true); };
+        parts[1].sim = &link->end_sim(0);
+        parts[1].fail = [link] { link->set_carrier_up_from(0, false); };
+        parts[1].restore = [link] { link->set_carrier_up_from(0, true); };
+        plan.add_target("carrier " + link->name(), std::move(parts));
+      }
       hw::Nic* nic = &cluster.node(i).nic(j);
+      std::vector<sim::FaultPlan::Part> stall(1);
+      stall[0].sim = &cluster.sim_of_node(i);
+      stall[0].fail = [nic] { nic->set_stalled(true); };
+      stall[0].restore = [nic] { nic->set_stalled(false); };
       plan.add_target(
           "nic-stall n" + std::to_string(i) + "." + std::to_string(j),
-          [nic] { nic->set_stalled(true); },
-          [nic] { nic->set_stalled(false); });
+          std::move(stall));
     }
   }
   net::Switch* sw = &cluster.ethernet_switch();

@@ -35,6 +35,9 @@ struct ChaosOptions {
   ChaosStack stack = ChaosStack::kClic;
   std::uint64_t seed = 1;
   int nodes = 4;
+  // Intra-scenario PDES shards (1 = single-threaded). The campaign's
+  // summary() is bit-identical at any shard count.
+  int shards = 1;
   int messages = 24;          // confirmed sends, round-robin over node pairs
   std::int64_t bytes = 8000;  // payload per message
 

@@ -12,11 +12,14 @@ namespace {
 [[noreturn]] void usage(const char* prog, int code) {
   std::FILE* out = code == 0 ? stdout : stderr;
   std::fprintf(out,
-               "usage: %s [-j N]\n"
+               "usage: %s [-j N] [--shards N]\n"
                "  -j N, --jobs N   run sweep points on N worker threads\n"
                "                   (default: all cores; -j1 is the exact\n"
                "                   sequential run — output is byte-identical\n"
-               "                   at any -j)\n",
+               "                   at any -j)\n"
+               "  --shards N       shard each simulation across N PDES\n"
+               "                   worker threads (default 1; output is\n"
+               "                   byte-identical at any shard count)\n",
                prog);
   std::exit(code);
 }
@@ -45,6 +48,11 @@ SweepOptions parse_sweep_args(int argc, char** argv) {
       options.jobs = parse_job_count(prog, arg + 2);
     } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
       options.jobs = parse_job_count(prog, arg + 7);
+    } else if (std::strcmp(arg, "--shards") == 0) {
+      if (i + 1 >= argc) usage(prog, 2);
+      options.shards = parse_job_count(prog, argv[++i]);
+    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+      options.shards = parse_job_count(prog, arg + 9);
     } else {
       usage(prog, 2);
     }

@@ -24,13 +24,16 @@
 namespace clicsim::apps {
 
 struct SweepOptions {
-  int jobs = 0;  // worker threads; <= 0 means every hardware core
+  int jobs = 0;    // worker threads; <= 0 means every hardware core
+  int shards = 1;  // intra-scenario PDES shards per simulation (1 = serial)
 };
 
 // Parses the shared benchmark command line: `-j N`, `-jN`, `--jobs N` or
 // `--jobs=N` select the worker count (default: all cores; `-j1` reproduces
-// the sequential run bit for bit). `-h`/`--help` prints usage and exits 0;
-// anything unrecognized prints usage to stderr and exits 2.
+// the sequential run bit for bit); `--shards N` / `--shards=N` shard each
+// individual simulation across N PDES worker threads (default 1; output is
+// byte-identical at any shard count). `-h`/`--help` prints usage and exits
+// 0; anything unrecognized prints usage to stderr and exits 2.
 SweepOptions parse_sweep_args(int argc, char** argv);
 
 template <typename Row>

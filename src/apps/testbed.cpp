@@ -1,12 +1,52 @@
 #include "apps/testbed.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace clicsim::apps {
 
-ClicBed::ClicBed(os::ClusterConfig cluster_config, clic::Config clic_config)
-    : cluster(sim, std::move(cluster_config)),
+namespace {
+
+// More shards than nodes+switch would leave workers idle; fewer than 1 is
+// meaningless. Clamping (rather than throwing) lets callers pass nproc.
+int clamped_shards(const os::ClusterConfig& c) {
+  return std::clamp(c.shards, 1, c.nodes + 1);
+}
+
+os::ClusterConfig with_clamped_shards(os::ClusterConfig c) {
+  c.shards = clamped_shards(c);
+  return c;
+}
+
+}  // namespace
+
+BedCore::BedCore(os::ClusterConfig cluster_config)
+    : shards(sim, clamped_shards(cluster_config)),
+      cluster(shards, with_clamped_shards(std::move(cluster_config))),
       addresses(os::AddressMap::for_cluster(cluster)) {
+  // Worker shards 1..K-1 each get their own buffer pool, installed as the
+  // worker thread's scope for the run; shard 0 executes on the controlling
+  // thread under the bed's main pool scope. Frames crossing shards are
+  // detached (net::Frame::detach), so no pooled block is ever shared.
+  for (int i = 1; i < shards.shards(); ++i) {
+    shard_pools.push_back(std::make_unique<net::BufferPool>());
+  }
+  if (shards.shards() > 1) {
+    shards.set_worker_wrapper(
+        [this](int shard, const std::function<void()>& body) {
+          if (shard == 0) {
+            body();
+            return;
+          }
+          net::BufferPool::Scope scope(
+              shard_pools[static_cast<std::size_t>(shard - 1)].get());
+          body();
+        });
+  }
+}
+
+ClicBed::ClicBed(os::ClusterConfig cluster_config, clic::Config clic_config)
+    : BedCore(std::move(cluster_config)) {
   for (int i = 0; i < cluster.size(); ++i) {
     modules.push_back(std::make_unique<clic::ClicModule>(
         cluster.node(i), clic_config, addresses));
@@ -14,8 +54,7 @@ ClicBed::ClicBed(os::ClusterConfig cluster_config, clic::Config clic_config)
 }
 
 TcpBed::TcpBed(os::ClusterConfig cluster_config, tcpip::Config tcp_config)
-    : cluster(sim, std::move(cluster_config)),
-      addresses(os::AddressMap::for_cluster(cluster)) {
+    : BedCore(std::move(cluster_config)) {
   for (int i = 0; i < cluster.size(); ++i) {
     ip.push_back(std::make_unique<tcpip::IpLayer>(cluster.node(i),
                                                   tcp_config, addresses));
@@ -26,7 +65,11 @@ TcpBed::TcpBed(os::ClusterConfig cluster_config, tcpip::Config tcp_config)
 
 MpiClicBed::MpiClicBed(os::ClusterConfig cluster_config,
                        clic::Config clic_config, mpi::Config mpi_config)
-    : bed(std::move(cluster_config), clic_config) {
+    // MPI beds pin shards = 1: rank coroutines and collectives pass
+    // pool-backed buffers directly between ranks (no link crossing to
+    // detach at), so the thread-confinement argument does not hold there.
+    : bed((cluster_config.shards = 1, std::move(cluster_config)),
+          clic_config) {
   const int n = bed.cluster.size();
   for (int i = 0; i < n; ++i) {
     transports.push_back(
@@ -38,7 +81,8 @@ MpiClicBed::MpiClicBed(os::ClusterConfig cluster_config,
 
 MpiTcpBed::MpiTcpBed(os::ClusterConfig cluster_config,
                      tcpip::Config tcp_config, mpi::Config mpi_config)
-    : bed(std::move(cluster_config), tcp_config) {
+    : bed((cluster_config.shards = 1, std::move(cluster_config)),
+          tcp_config) {
   const int n = bed.cluster.size();
   for (int i = 0; i < n; ++i) {
     transports.push_back(
@@ -54,7 +98,8 @@ sim::Future<bool> MpiTcpBed::connect() {
 
 PvmBed::PvmBed(os::ClusterConfig cluster_config, tcpip::Config tcp_config,
                pvm::Config config)
-    : bed(std::move(cluster_config), tcp_config), pvm_config(config) {
+    : bed((cluster_config.shards = 1, std::move(cluster_config)), tcp_config),
+      pvm_config(config) {
   const int n = bed.cluster.size();
   for (int i = 0; i < n; ++i) {
     transports.push_back(
@@ -74,8 +119,7 @@ sim::Future<bool> PvmBed::connect() {
 
 GammaBed::GammaBed(os::ClusterConfig cluster_config,
                    gamma::Config gamma_config)
-    : cluster(sim, std::move(cluster_config)),
-      addresses(os::AddressMap::for_cluster(cluster)) {
+    : BedCore(std::move(cluster_config)) {
   for (int i = 0; i < cluster.size(); ++i) {
     modules.push_back(std::make_unique<gamma::GammaModule>(
         cluster.node(i), gamma_config, addresses));
@@ -83,8 +127,7 @@ GammaBed::GammaBed(os::ClusterConfig cluster_config,
 }
 
 ViaBed::ViaBed(os::ClusterConfig cluster_config, via::Config via_config)
-    : cluster(sim, std::move(cluster_config)),
-      addresses(os::AddressMap::for_cluster(cluster)) {
+    : BedCore(std::move(cluster_config)) {
   for (int i = 0; i < cluster.size(); ++i) {
     providers.push_back(std::make_unique<via::ViaProvider>(
         cluster.node(i), via_config, addresses));

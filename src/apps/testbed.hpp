@@ -24,15 +24,46 @@ namespace clicsim::apps {
 // the thread-current pool for the bed's lifetime (testbeds follow a
 // construct → drive → destroy discipline on one thread, so the LIFO scope
 // matches the bed that is actually running). Pools are strictly
-// per-simulation: parallel sweep workers never share one.
+// per-simulation: parallel sweep workers never share one — and in a
+// sharded bed each worker shard gets its own pool, installed as that
+// worker thread's scope for the duration of the run.
 
-// N nodes running CLIC.
-struct ClicBed {
+// Shared chassis of the single-stack beds: pool, home simulator, shard
+// group, cluster and address map. `cluster_config.shards` (clamped to
+// [1, nodes + 1]) selects intra-scenario PDES; with 1 shard everything
+// below is the classic single-threaded bed, bit for bit. Drive a bed
+// through run()/run_until() — with shards these coordinate the whole
+// group, and `sim.run()` alone would deadlock-free but silently simulate
+// only shard 0.
+struct BedCore {
   net::BufferPool pool;
   net::BufferPool::Scope pool_scope{&pool};
   sim::Simulator sim;
+  sim::ShardGroup shards;
+  std::vector<std::unique_ptr<net::BufferPool>> shard_pools;
   os::Cluster cluster;
   os::AddressMap addresses;
+
+  explicit BedCore(os::ClusterConfig cluster_config);
+
+  // Group-wide lifecycle; identical to the corresponding sim.* calls in a
+  // single-shard bed.
+  std::uint64_t run() { return shards.run(); }
+  std::uint64_t run_until(sim::SimTime t) { return shards.run_until(t); }
+  [[nodiscard]] bool pending() const { return shards.pending(); }
+  [[nodiscard]] sim::SimTime now() const { return shards.now(); }
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return shards.events_executed();
+  }
+  // The simulator that drives `node` (its clock source for scheduling
+  // node-local work from the controlling thread).
+  [[nodiscard]] sim::Simulator& sim_of(int node) {
+    return cluster.sim_of_node(node);
+  }
+};
+
+// N nodes running CLIC.
+struct ClicBed : BedCore {
   std::vector<std::unique_ptr<clic::ClicModule>> modules;
 
   explicit ClicBed(os::ClusterConfig cluster_config = {},
@@ -44,12 +75,7 @@ struct ClicBed {
 };
 
 // N nodes running the TCP/IP stack.
-struct TcpBed {
-  net::BufferPool pool;
-  net::BufferPool::Scope pool_scope{&pool};
-  sim::Simulator sim;
-  os::Cluster cluster;
-  os::AddressMap addresses;
+struct TcpBed : BedCore {
   std::vector<std::unique_ptr<tcpip::IpLayer>> ip;
   std::vector<std::unique_ptr<tcpip::TcpStack>> tcp;
   std::vector<std::unique_ptr<tcpip::UdpStack>> udp;
@@ -115,12 +141,7 @@ struct PvmBed {
 };
 
 // N nodes running GAMMA.
-struct GammaBed {
-  net::BufferPool pool;
-  net::BufferPool::Scope pool_scope{&pool};
-  sim::Simulator sim;
-  os::Cluster cluster;
-  os::AddressMap addresses;
+struct GammaBed : BedCore {
   std::vector<std::unique_ptr<gamma::GammaModule>> modules;
 
   explicit GammaBed(os::ClusterConfig cluster_config = {},
@@ -132,12 +153,7 @@ struct GammaBed {
 };
 
 // N nodes running VIA (one VI per ordered node pair is up to the caller).
-struct ViaBed {
-  net::BufferPool pool;
-  net::BufferPool::Scope pool_scope{&pool};
-  sim::Simulator sim;
-  os::Cluster cluster;
-  os::AddressMap addresses;
+struct ViaBed : BedCore {
   std::vector<std::unique_ptr<via::ViaProvider>> providers;
 
   explicit ViaBed(os::ClusterConfig cluster_config = {},

@@ -59,9 +59,9 @@ sim::SimTime clic_one_way(const Scenario& s, std::int64_t size) {
   clic::Port b(bed.module(1), 1);
   PingPongClock clock;
   clock.reps = s.pingpong_reps;
-  clic_pp_initiator(bed.sim, a, size, clock);
+  clic_pp_initiator(bed.sim_of(0), a, size, clock);
   clic_pp_responder(b, size, clock.reps);
-  bed.sim.run();
+  bed.run();
   return clock.one_way();
 }
 
@@ -98,10 +98,10 @@ sim::SimTime tcp_one_way(const Scenario& s, std::int64_t size) {
   bed.tcp[1]->listen(5000);
   PingPongClock clock;
   clock.reps = s.pingpong_reps;
-  tcp_pp_initiator(bed.sim, *bed.tcp[0], std::max<std::int64_t>(size, 1),
+  tcp_pp_initiator(bed.sim_of(0), *bed.tcp[0], std::max<std::int64_t>(size, 1),
                    clock);
   tcp_pp_responder(*bed.tcp[1], std::max<std::int64_t>(size, 1), clock.reps);
-  bed.sim.run();
+  bed.run();
   return clock.one_way();
 }
 
@@ -233,9 +233,9 @@ sim::SimTime gamma_one_way(const Scenario& s, std::int64_t size) {
   bed.module(1).open_mailbox_port(1);
   PingPongClock clock;
   clock.reps = s.pingpong_reps;
-  gamma_pp_initiator(bed.sim, bed.module(0), size, clock);
+  gamma_pp_initiator(bed.sim_of(0), bed.module(0), size, clock);
   gamma_pp_responder(bed.module(1), size, clock.reps);
-  bed.sim.run();
+  bed.run();
   return clock.one_way();
 }
 
@@ -275,9 +275,9 @@ sim::SimTime via_one_way(const Scenario& s, std::int64_t size) {
   b.connect(0, a.id());
   PingPongClock clock;
   clock.reps = s.pingpong_reps;
-  via_pp_initiator(bed.sim, a, size, clock);
+  via_pp_initiator(bed.sim_of(0), a, size, clock);
   via_pp_responder(b, size, clock.reps);
-  bed.sim.run();
+  bed.run();
   return clock.one_way();
 }
 
@@ -310,8 +310,8 @@ StreamStats clic_stream(const Scenario& s, std::int64_t message_size,
       std::max<std::int64_t>(total_bytes / message_size, 1);
   sim::SimTime t_end = 0;
   clic_stream_tx(a, message_size, count);
-  clic_stream_rx(bed.sim, b, count, t_end);
-  bed.sim.run();
+  clic_stream_rx(bed.sim_of(1), b, count, t_end);
+  bed.run();
 
   StreamStats st;
   st.bytes = message_size * count;
@@ -348,8 +348,8 @@ StreamStats tcp_stream(const Scenario& s, std::int64_t total_bytes) {
   bed.tcp[1]->listen(5000);
   sim::SimTime t_end = 0;
   tcp_stream_tx(*bed.tcp[0], total_bytes);
-  tcp_stream_rx(bed.sim, *bed.tcp[1], total_bytes, t_end);
-  bed.sim.run();
+  tcp_stream_rx(bed.sim_of(1), *bed.tcp[1], total_bytes, t_end);
+  bed.run();
 
   StreamStats st;
   st.bytes = total_bytes;

@@ -57,6 +57,10 @@ inline constexpr std::int64_t kClicHeaderBytes = 12;
 struct WireHeader {
   ClicHeader clic;
   net::HeaderBlob upper;
+
+  // Cross-shard confinement hook (see net::Frame::detach): the nested
+  // upper blob must be deep-copied along with the wire header.
+  void detach_shared() { upper = upper.detached(); }
 };
 
 }  // namespace clicsim::clic

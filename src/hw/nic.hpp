@@ -47,6 +47,9 @@ struct NicFragHeader {
   std::int32_t count = 0;
   std::int64_t total_payload = 0;
   net::HeaderBlob inner;  // upper-protocol header of the original packet
+
+  // Cross-shard confinement hook (see net::Frame::detach).
+  void detach_shared() { inner = inner.detached(); }
 };
 inline constexpr std::int64_t kNicFragHeaderBytes = 8;
 

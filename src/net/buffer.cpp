@@ -59,6 +59,15 @@ std::uint64_t Buffer::checksum() const {
   return h;
 }
 
+Buffer Buffer::detached() const {
+  if (!storage_) return *this;
+  auto copy =
+      detail::BlockRef::adopt(detail::acquire_data_block_unpooled(len_));
+  const auto src = data();
+  std::copy(src.begin(), src.end(), copy->bytes.data());
+  return Buffer{std::move(copy), 0, len_};
+}
+
 bool Buffer::content_equals(const Buffer& other) const {
   if (len_ != other.len_) return false;
   if (!has_data() || !other.has_data()) return true;

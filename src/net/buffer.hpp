@@ -53,6 +53,12 @@ class Buffer {
   // (size-only buffers compare equal to anything of equal size).
   [[nodiscard]] bool content_equals(const Buffer& other) const;
 
+  // Copy whose storage (if any) is a fresh unpooled heap block owned only
+  // by the result: safe to hand to another shard's thread (the original's
+  // refcount and home pool are never touched again through the copy).
+  // Size-only buffers return themselves — nothing to confine.
+  [[nodiscard]] Buffer detached() const;
+
   // Identity of the backing storage block (nullptr for size-only buffers);
   // the pool-invariant tests use it to prove recycled blocks are never
   // aliased by live handles.

@@ -51,6 +51,7 @@ void destroy_header_payload(detail::HeaderRec* rec) noexcept {
     rec->destroy(rec->payload());
     rec->destroy = nullptr;
   }
+  rec->clone = nullptr;
   rec->type = nullptr;
 }
 
@@ -200,6 +201,21 @@ HeaderRec* acquire_header_rec(std::size_t payload_bytes) {
   if (BufferPool* pool = BufferPool::current()) {
     return pool->get_header(payload_bytes);
   }
+  auto* rec = new_header_rec(payload_bytes);
+  rec->size_class =
+      static_cast<std::uint8_t>(BufferPool::header_class_of(payload_bytes));
+  rec->refs = 1;
+  return rec;
+}
+
+DataBlock* acquire_data_block_unpooled(std::int64_t size) {
+  auto* b = new DataBlock;
+  b->bytes.resize(static_cast<std::size_t>(size));
+  b->refs = 1;
+  return b;
+}
+
+HeaderRec* acquire_header_rec_unpooled(std::size_t payload_bytes) {
   auto* rec = new_header_rec(payload_bytes);
   rec->size_class =
       static_cast<std::uint8_t>(BufferPool::header_class_of(payload_bytes));

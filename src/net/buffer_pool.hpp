@@ -65,6 +65,12 @@ struct alignas(std::max_align_t) HeaderRec {
   HeaderRec* live_prev = nullptr;
   HeaderRec* live_next = nullptr;
   void (*destroy)(void*) = nullptr;
+  // Deep-copies the record into a fresh unpooled one (net::HeaderBlob::of
+  // installs it alongside destroy). Used by Frame::detach() when a frame
+  // crosses a shard boundary: the copy's final release goes through the
+  // global heap, so it may safely die on a different thread than the
+  // (thread-confined, non-atomic-refcounted) original.
+  HeaderRec* (*clone)(const HeaderRec*) = nullptr;
   const std::type_info* type = nullptr;
 
   [[nodiscard]] void* payload() { return this + 1; }
@@ -75,6 +81,12 @@ struct alignas(std::max_align_t) HeaderRec {
 [[nodiscard]] DataBlock* acquire_data_block(std::int64_t size);
 [[nodiscard]] DataBlock* adopt_data_block(std::vector<std::byte> bytes);
 [[nodiscard]] HeaderRec* acquire_header_rec(std::size_t payload_bytes);
+
+// Pool-bypassing mints for cross-shard detach copies: the block/record is a
+// plain heap allocation with no home pool, so its final release (possibly
+// on another thread) never touches a thread-confined freelist.
+[[nodiscard]] DataBlock* acquire_data_block_unpooled(std::int64_t size);
+[[nodiscard]] HeaderRec* acquire_header_rec_unpooled(std::size_t payload_bytes);
 
 // Final-release paths (refcount hit zero).
 void free_data_block(DataBlock* block) noexcept;
@@ -186,6 +198,7 @@ class BufferPool {
   friend detail::DataBlock* detail::acquire_data_block(std::int64_t);
   friend detail::DataBlock* detail::adopt_data_block(std::vector<std::byte>);
   friend detail::HeaderRec* detail::acquire_header_rec(std::size_t);
+  friend detail::HeaderRec* detail::acquire_header_rec_unpooled(std::size_t);
   friend void detail::free_data_block(detail::DataBlock*) noexcept;
   friend void detail::free_header_rec(detail::HeaderRec*) noexcept;
 

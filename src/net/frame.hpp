@@ -70,6 +70,21 @@ class HeaderBlob {
     detail::HeaderRec* rec = detail::acquire_header_rec(sizeof(T));
     new (rec->payload()) T(std::move(header));
     rec->destroy = [](void* p) { static_cast<T*>(p)->~T(); };
+    // Deep copy into an unpooled record, for frames crossing a shard
+    // boundary (see Frame::detach). Headers that embed refcounted parts
+    // (a nested HeaderBlob or Buffer) expose detach_shared() to confine
+    // those too; plain structs need nothing beyond the copy.
+    rec->clone = [](const detail::HeaderRec* src) -> detail::HeaderRec* {
+      detail::HeaderRec* copy = detail::acquire_header_rec_unpooled(sizeof(T));
+      new (copy->payload()) T(*static_cast<const T*>(src->payload()));
+      copy->destroy = src->destroy;
+      copy->clone = src->clone;
+      copy->type = src->type;
+      if constexpr (requires(T& t) { t.detach_shared(); }) {
+        static_cast<T*>(copy->payload())->detach_shared();
+      }
+      return copy;
+    };
     rec->type = &typeid(T);
     HeaderBlob b;
     b.rec_ = detail::HeaderRef::adopt(rec);
@@ -85,6 +100,17 @@ class HeaderBlob {
 
   [[nodiscard]] std::int64_t wire_bytes() const { return wire_bytes_; }
   [[nodiscard]] bool empty() const { return !rec_; }
+
+  // Copy backed by a fresh unpooled record (deep, including any nested
+  // blobs/buffers via the header's detach_shared hook): safe to release on
+  // a different thread than the original. Empty blobs return themselves.
+  [[nodiscard]] HeaderBlob detached() const {
+    if (!rec_) return *this;
+    HeaderBlob b;
+    b.rec_ = detail::HeaderRef::adopt(rec_->clone(rec_.get()));
+    b.wire_bytes_ = wire_bytes_;
+    return b;
+  }
 
  private:
   detail::HeaderRef rec_;
@@ -119,6 +145,15 @@ struct Frame {
   // Bytes occupying the wire, including preamble/SFD/IFG.
   [[nodiscard]] std::int64_t wire_bytes() const {
     return frame_bytes() + kEthWireOverhead;
+  }
+
+  // Severs all sharing with pool-backed storage: header and payload become
+  // self-owned heap copies. Called once per frame at a shard boundary so
+  // the frame's refcounts and blocks are touched by exactly one thread on
+  // each side of the crossing.
+  void detach() {
+    header = header.detached();
+    payload = payload.detached();
   }
 };
 

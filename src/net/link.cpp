@@ -47,10 +47,29 @@ FaultInjector::Outcome FaultInjector::judge() {
 }
 
 Link::Link(sim::Simulator& sim, LinkParams params, std::string name)
-    : sim_(&sim),
-      params_(params),
+    : params_(params),
       name_(std::move(name)),
+      end_sims_{&sim, &sim},
       directions_{Direction(sim, name_ + ".d0"), Direction(sim, name_ + ".d1")} {}
+
+Link::Link(sim::ShardGroup& group, int shard0, int shard1, LinkParams params,
+           std::string name)
+    : params_(params),
+      name_(std::move(name)),
+      group_(&group),
+      end_sims_{&group.shard(shard0), &group.shard(shard1)},
+      end_shards_{shard0, shard1},
+      directions_{Direction(*end_sims_[0], name_ + ".d0"),
+                  Direction(*end_sims_[1], name_ + ".d1")} {
+  if (shard0 != shard1) {
+    // Both directions are conservative-PDES channels; the lookahead is the
+    // guaranteed minimum sender-to-receiver latency (see send()). The
+    // group rejects non-positive lookahead with the link named.
+    const sim::SimTime lookahead = kDeliveryFloor + params_.propagation;
+    group.declare_channel(shard0, shard1, lookahead, "link " + name_);
+    group.declare_channel(shard1, shard0, lookahead, "link " + name_);
+  }
+}
 
 int Link::check_end(int end) {
   if (end != 0 && end != 1) throw std::invalid_argument("Link: end must be 0/1");
@@ -59,8 +78,20 @@ int Link::check_end(int end) {
 
 void Link::attach(int end, FrameSink* sink) { sinks_[check_end(end)] = sink; }
 
-void Link::deliver_at(FrameSink* dest, sim::SimTime when, Frame frame) {
-  sim_->at(when, [dest, frame = std::move(frame)]() mutable {
+void Link::deliver_at(int to_end, sim::SimTime when, Frame frame) {
+  FrameSink* dest = sinks_[to_end];
+  const int from_end = 1 - to_end;
+  if (group_ != nullptr && end_shards_[to_end] != end_shards_[from_end]) {
+    // Shard boundary: confine the frame's storage to the receiving thread,
+    // then hand it over through the group mailbox.
+    frame.detach();
+    group_->post(end_shards_[from_end], end_shards_[to_end], when,
+                 [dest, frame = std::move(frame)]() mutable {
+                   dest->frame_arrived(std::move(frame));
+                 });
+    return;
+  }
+  end_sims_[to_end]->at(when, [dest, frame = std::move(frame)]() mutable {
     dest->frame_arrived(std::move(frame));
   });
 }
@@ -82,8 +113,8 @@ void Link::send(int end, Frame frame, sim::Action on_serialized,
   bool deliver = true;
   bool duplicate = false;
   sim::SimTime extra_delay = 0;
-  if (!carrier_up_) {
-    ++carrier_drops_;
+  if (!carrier_up_[end]) {
+    ++carrier_drops_[end];
     deliver = false;
   } else {
     const FaultInjector::Outcome out = dir.faults.judge();
@@ -112,16 +143,19 @@ void Link::send(int end, Frame frame, sim::Action on_serialized,
       tx_time, std::move(on_serialized));
   if (!deliver || dest == nullptr) return;
 
-  const sim::SimTime floor = sim_->now() + sim::nanoseconds(500);
+  // `serialized >= now + tx_time`, so even with full cut-through credit the
+  // arrival is never earlier than now + kDeliveryFloor + propagation — the
+  // lookahead the shard engine relies on (jitter and duplication only add).
+  const sim::SimTime floor = end_sims_[end]->now() + kDeliveryFloor;
   const sim::SimTime arrive =
       std::max(floor, serialized - delivery_credit) + params_.propagation +
       extra_delay;
   if (duplicate) {
     // The copy trails the original by one serialization time, as if the
     // frame had been put on the wire twice back to back.
-    deliver_at(dest, arrive + tx_time, frame);
+    deliver_at(1 - end, arrive + tx_time, frame);
   }
-  deliver_at(dest, arrive, std::move(frame));
+  deliver_at(1 - end, arrive, std::move(frame));
 }
 
 }  // namespace clicsim::net

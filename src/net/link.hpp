@@ -17,6 +17,7 @@
 #include "sim/inline_function.hpp"
 #include "sim/random.hpp"
 #include "sim/resource.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulator.hpp"
 
 namespace clicsim::net {
@@ -25,6 +26,12 @@ struct LinkParams {
   double bits_per_s = 1e9;                    // Gigabit Ethernet
   sim::SimTime propagation = sim::nanoseconds(150);  // ~30 m of copper
 };
+
+// Minimum sender-to-receiver latency on any link, independent of length or
+// rate: delivery never precedes now + kDeliveryFloor + propagation (see
+// Link::send). This floor is also what makes every cross-shard link a
+// positive-lookahead channel for the conservative PDES engine.
+inline constexpr sim::SimTime kDeliveryFloor = sim::nanoseconds(500);
 
 class FaultInjector {
  public:
@@ -111,6 +118,15 @@ class Link {
  public:
   Link(sim::Simulator& sim, LinkParams params, std::string name);
 
+  // Shard-aware link: end 0 lives on `shard0`, end 1 on `shard1` of
+  // `group`. When the ends differ, each direction's serialization resource
+  // and fault injector live on the *sending* shard, deliveries cross via
+  // the group's mailboxes (the frame is detached first), and the
+  // constructor declares both directions as PDES channels with lookahead
+  // kDeliveryFloor + propagation — throwing if that is not positive.
+  Link(sim::ShardGroup& group, int shard0, int shard1, LinkParams params,
+       std::string name);
+
   // Attaches the receiver for frames arriving at `end` (0 or 1).
   void attach(int end, FrameSink* sink);
 
@@ -137,10 +153,25 @@ class Link {
 
   // Carrier state (link flaps): while down, transmissions in both
   // directions still occupy the wire (the sender's PHY keeps clocking) but
-  // nothing reaches the far end.
-  void set_carrier_up(bool up) { carrier_up_ = up; }
-  [[nodiscard]] bool carrier_up() const { return carrier_up_; }
-  [[nodiscard]] std::uint64_t carrier_drops() const { return carrier_drops_; }
+  // nothing reaches the far end. Carrier is tracked per sending end so a
+  // sharded fault plan can flip each half from the shard that owns it;
+  // set_carrier_up() flips both halves (the single-shard/legacy form) and
+  // carrier_up() reports the cable as up only when both halves are.
+  void set_carrier_up(bool up) { carrier_up_[0] = carrier_up_[1] = up; }
+  void set_carrier_up_from(int end, bool up) {
+    carrier_up_[check_end(end)] = up;
+  }
+  [[nodiscard]] bool carrier_up() const {
+    return carrier_up_[0] && carrier_up_[1];
+  }
+  [[nodiscard]] std::uint64_t carrier_drops() const {
+    return carrier_drops_[0] + carrier_drops_[1];
+  }
+
+  // The simulator driving `end` (the home simulator for non-sharded links).
+  [[nodiscard]] sim::Simulator& end_sim(int end) {
+    return *end_sims_[check_end(end)];
+  }
 
   [[nodiscard]] FaultInjector& faults(int from_end) {
     return directions_[check_end(from_end)].faults;
@@ -170,15 +201,20 @@ class Link {
     std::int64_t bytes = 0;
   };
 
-  void deliver_at(FrameSink* dest, sim::SimTime when, Frame frame);
+  // Schedules arrival at `to_end`; crosses the shard boundary through the
+  // group mailbox (detaching the frame) when the ends live on different
+  // shards.
+  void deliver_at(int to_end, sim::SimTime when, Frame frame);
 
-  sim::Simulator* sim_;
   LinkParams params_;
   std::string name_;
+  sim::ShardGroup* group_ = nullptr;   // null for single-simulator links
+  sim::Simulator* end_sims_[2];
+  int end_shards_[2] = {0, 0};
   Direction directions_[2];
   FrameSink* sinks_[2] = {nullptr, nullptr};
-  bool carrier_up_ = true;
-  std::uint64_t carrier_drops_ = 0;
+  bool carrier_up_[2] = {true, true};
+  std::uint64_t carrier_drops_[2] = {0, 0};
 };
 
 }  // namespace clicsim::net

@@ -7,19 +7,53 @@ namespace clicsim::os {
 
 Cluster::Cluster(sim::Simulator& sim, ClusterConfig config)
     : sim_(&sim), config_(std::move(config)) {
+  build(sim);
+}
+
+Cluster::Cluster(sim::ShardGroup& group, ClusterConfig config)
+    : sim_(&group.shard(0)), group_(&group), config_(std::move(config)) {
+  build(group.shard(0));
+}
+
+void Cluster::build(sim::Simulator& home) {
   const int ports = config_.nodes * config_.nics_per_node;
-  switch_ = std::make_unique<net::Switch>(sim, ports, config_.sw, "switch0");
+  // The switch (and hence every switch port) lives on shard 0, next to the
+  // controlling thread; a sharded run keeps all forwarding state there.
+  switch_ = std::make_unique<net::Switch>(home, ports, config_.sw, "switch0");
+
+  const int k = group_ != nullptr ? group_->shards() : 1;
+  node_shards_.resize(static_cast<std::size_t>(config_.nodes), 0);
+  if (k >= 2) {
+    // Contiguous blocks over worker shards 1..K-1, monotone in node index
+    // (neighbouring node ids co-locate — ring/neighbour workloads keep
+    // most traffic on-shard even though the switch hop crosses anyway).
+    for (int i = 0; i < config_.nodes; ++i) {
+      node_shards_[static_cast<std::size_t>(i)] =
+          1 + static_cast<int>((static_cast<std::int64_t>(i) * (k - 1)) /
+                               config_.nodes);
+    }
+  }
 
   for (int i = 0; i < config_.nodes; ++i) {
-    auto node = std::make_unique<Node>(sim, i, config_.host, config_.pci,
+    const int shard = node_shards_[static_cast<std::size_t>(i)];
+    sim::Simulator& node_sim =
+        group_ != nullptr ? group_->shard(shard) : home;
+    auto node = std::make_unique<Node>(node_sim, i, config_.host, config_.pci,
                                        "node" + std::to_string(i));
     for (int j = 0; j < config_.nics_per_node; ++j) {
       node->add_nic(config_.nic, mac_of(i, j));
 
       const int port = i * config_.nics_per_node + j;
-      auto link = std::make_unique<net::Link>(
-          sim, config_.link,
-          "link.n" + std::to_string(i) + ".e" + std::to_string(j));
+      const std::string link_name =
+          "link.n" + std::to_string(i) + ".e" + std::to_string(j);
+      // Link end 0 is the node's NIC (on the node's shard), end 1 the
+      // switch port (shard 0). The shard-aware constructor declares the
+      // PDES channels and validates positive lookahead.
+      auto link =
+          group_ != nullptr
+              ? std::make_unique<net::Link>(*group_, shard, switch_shard(),
+                                            config_.link, link_name)
+              : std::make_unique<net::Link>(home, config_.link, link_name);
       node->nic(j).attach_link(*link, 0);
       switch_->connect(port, *link, 1);
       // Boot-time gratuitous learning: every NIC announces itself.

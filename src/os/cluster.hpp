@@ -3,6 +3,13 @@
 // Every NIC j of node i connects to switch port i*nics_per_node + j. MAC
 // addresses encode (node, nic) so protocol address tables are static — the
 // single-LAN cluster assumption under which CLIC drops the IP layer.
+//
+// Sharded builds (`shards` > 1 through the ShardGroup constructor) place
+// the switch and its ports on shard 0 and spread the nodes contiguously
+// over shards 1..K-1; each node's kernel, NICs and timers live entirely on
+// its shard's simulator, and every node-to-switch link becomes a
+// cross-shard PDES channel (lookahead = delivery floor + propagation,
+// validated at build time).
 #pragma once
 
 #include <cstdint>
@@ -13,6 +20,7 @@
 #include "net/link.hpp"
 #include "net/switch.hpp"
 #include "os/node.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulator.hpp"
 
 namespace clicsim::os {
@@ -20,6 +28,10 @@ namespace clicsim::os {
 struct ClusterConfig {
   int nodes = 2;
   int nics_per_node = 1;
+  // Worker shards for intra-scenario PDES (1 = classic single-threaded
+  // run). Only honoured by the ShardGroup constructor; testbeds clamp it
+  // to [1, nodes + 1].
+  int shards = 1;
   hw::HostParams host;
   hw::PciParams pci;
   hw::NicProfile nic = hw::NicProfile::smc9462();
@@ -31,6 +43,11 @@ class Cluster {
  public:
   Cluster(sim::Simulator& sim, ClusterConfig config);
 
+  // Sharded topology: group.shards() must equal 1 (equivalent to the
+  // plain constructor) or be >= 2, in which case the switch occupies
+  // shard 0 and nodes are distributed over shards 1..K-1.
+  Cluster(sim::ShardGroup& group, ClusterConfig config);
+
   [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
   [[nodiscard]] Node& node(int i) { return *nodes_.at(i); }
   [[nodiscard]] net::Switch& ethernet_switch() { return *switch_; }
@@ -39,6 +56,17 @@ class Cluster {
         node * config_.nics_per_node + nic));
   }
   [[nodiscard]] const ClusterConfig& config() const { return config_; }
+
+  // Shard placement (all zero for non-sharded clusters).
+  [[nodiscard]] int shard_of_node(int i) const {
+    return node_shards_.at(static_cast<std::size_t>(i));
+  }
+  [[nodiscard]] int switch_shard() const { return 0; }
+  [[nodiscard]] sim::Simulator& sim_of_node(int i) {
+    return nodes_.at(static_cast<std::size_t>(i))->sim();
+  }
+  // The simulator that owns the switch (the home/shard-0 simulator).
+  [[nodiscard]] sim::Simulator& switch_sim() { return *sim_; }
 
   [[nodiscard]] static net::MacAddr mac_of(int node, int nic = 0) {
     return net::MacAddr::node(
@@ -53,8 +81,12 @@ class Cluster {
   void set_coalescing_all(sim::SimTime usecs, int frames);
 
  private:
+  void build(sim::Simulator& home);
+
   sim::Simulator* sim_;
+  sim::ShardGroup* group_ = nullptr;
   ClusterConfig config_;
+  std::vector<int> node_shards_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<net::Link>> links_;
   std::unique_ptr<net::Switch> switch_;

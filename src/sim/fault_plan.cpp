@@ -12,16 +12,43 @@ FaultPlan::FaultPlan(Simulator& sim, std::uint64_t seed)
     : sim_(&sim), seed_(seed), rng_(seed, "fault-plan") {}
 
 int FaultPlan::add_target(std::string name, Hook fail, Hook restore) {
-  targets_.push_back(
-      Target{std::move(name), std::move(fail), std::move(restore), 0});
+  std::vector<Part> parts(1);
+  parts[0].sim = sim_;
+  parts[0].fail = std::move(fail);
+  parts[0].restore = std::move(restore);
+  return add_target(std::move(name), std::move(parts));
+}
+
+int FaultPlan::add_target(std::string name, std::vector<Part> parts) {
+  if (parts.empty()) {
+    throw std::invalid_argument("FaultPlan: target needs at least one part");
+  }
+  for (Part& p : parts) {
+    if (p.sim == nullptr) p.sim = sim_;
+    p.depth = 0;
+  }
+  targets_.push_back(Target{std::move(name), std::move(parts)});
   return static_cast<int>(targets_.size()) - 1;
 }
 
 void FaultPlan::script_at(SimTime t, Hook action) {
   sim_->at(t, [this, action = std::move(action)] {
-    ++fired_;
+    fired_.fetch_add(1, std::memory_order_relaxed);
     action();
   });
+}
+
+void FaultPlan::script_parts(SimTime t,
+                             std::vector<std::pair<Simulator*, Hook>> parts) {
+  bool first = true;
+  for (auto& [sim, hook] : parts) {
+    Simulator* s = sim != nullptr ? sim : sim_;
+    s->at(t, [this, first, hook = std::move(hook)] {
+      if (first) fired_.fetch_add(1, std::memory_order_relaxed);
+      if (hook) hook();
+    });
+    first = false;
+  }
 }
 
 void FaultPlan::fail_between(int target, SimTime from, SimTime to) {
@@ -30,8 +57,15 @@ void FaultPlan::fail_between(int target, SimTime from, SimTime to) {
   }
   if (to <= from) throw std::invalid_argument("FaultPlan: empty outage");
   ++outages_;
-  sim_->at(from, [this, target] { enter_failure(target); });
-  sim_->at(to, [this, target] { leave_failure(target); });
+  // Every part gets the same schedule on its own simulator; identical
+  // interval sets mean identical per-part depth transitions, so the halves
+  // of a split target always agree on when they are down.
+  Target& t = targets_[static_cast<std::size_t>(target)];
+  for (int p = 0; p < static_cast<int>(t.parts.size()); ++p) {
+    Simulator* s = t.parts[static_cast<std::size_t>(p)].sim;
+    s->at(from, [this, target, p] { enter_failure(target, p); });
+    s->at(to, [this, target, p] { leave_failure(target, p); });
+  }
 }
 
 void FaultPlan::randomize(const Campaign& campaign) {
@@ -55,24 +89,30 @@ void FaultPlan::randomize(const Campaign& campaign) {
   }
 }
 
-void FaultPlan::enter_failure(int target) {
+void FaultPlan::enter_failure(int target, int part) {
   Target& t = targets_[static_cast<std::size_t>(target)];
-  ++fired_;
-  if (t.depth++ > 0) return;  // already down: outages nest
-  ++active_;
-  CLICSIM_LOG(*sim_, LogLevel::kDebug, "fault")
-      << "fail " << t.name << " (seed " << seed_ << ")";
-  if (t.fail) t.fail();
+  Part& p = t.parts[static_cast<std::size_t>(part)];
+  if (part == 0) fired_.fetch_add(1, std::memory_order_relaxed);
+  if (p.depth++ > 0) return;  // already down: outages nest
+  if (part == 0) {
+    active_.fetch_add(1, std::memory_order_relaxed);
+    CLICSIM_LOG(*p.sim, LogLevel::kDebug, "fault")
+        << "fail " << t.name << " (seed " << seed_ << ")";
+  }
+  if (p.fail) p.fail();
 }
 
-void FaultPlan::leave_failure(int target) {
+void FaultPlan::leave_failure(int target, int part) {
   Target& t = targets_[static_cast<std::size_t>(target)];
-  ++fired_;
-  if (--t.depth > 0) return;  // an overlapping outage still holds it down
-  --active_;
-  CLICSIM_LOG(*sim_, LogLevel::kDebug, "fault")
-      << "restore " << t.name << " (seed " << seed_ << ")";
-  if (t.restore) t.restore();
+  Part& p = t.parts[static_cast<std::size_t>(part)];
+  if (part == 0) fired_.fetch_add(1, std::memory_order_relaxed);
+  if (--p.depth > 0) return;  // an overlapping outage still holds it down
+  if (part == 0) {
+    active_.fetch_sub(1, std::memory_order_relaxed);
+    CLICSIM_LOG(*p.sim, LogLevel::kDebug, "fault")
+        << "restore " << t.name << " (seed " << seed_ << ")";
+  }
+  if (p.restore) p.restore();
 }
 
 }  // namespace clicsim::sim

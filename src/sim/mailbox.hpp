@@ -1,0 +1,56 @@
+// Cross-shard event mailboxes for the conservative PDES engine.
+//
+// A mailbox carries events posted by one shard (the producer) for another
+// (the consumer). The sharded run loop is barrier-synchronized: producers
+// only append during the parallel window, and the coordinator drains every
+// mailbox in the serial phase between windows, after all workers have hit
+// the barrier. The barrier provides the happens-before edge in both
+// directions, so the mailbox itself is a plain vector — no atomics, no
+// locks, and (unlike a lock-free ring) no capacity limit to tune.
+//
+// Determinism contract: the coordinator injects drained events into the
+// consumer's event queue in (destination, source-shard, post-order) order;
+// the event heap's insertion-sequence tie-break then realizes the global
+// (time, src-shard, seq) merge rule (DESIGN.md §4g).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "sim/inline_function.hpp"
+#include "sim/time.hpp"
+
+namespace clicsim::sim {
+
+// One event in flight between shards: an absolute delivery time plus the
+// closure to run on the destination shard at that time.
+struct PostedEvent {
+  SimTime when = 0;
+  Action action;
+};
+
+// Single-producer single-consumer mailbox; see file comment for why a bare
+// vector is sufficient (and deterministic) under barrier-window sync.
+class SpscMailbox {
+ public:
+  template <typename F>
+  void post(SimTime when, F&& action) {
+    posted_.push_back(PostedEvent{when, Action(std::forward<F>(action))});
+  }
+
+  [[nodiscard]] bool empty() const { return posted_.empty(); }
+  [[nodiscard]] std::size_t size() const { return posted_.size(); }
+
+  // Moves out the posted events in FIFO order and leaves the mailbox empty
+  // (capacity retained, so steady-state draining does not allocate).
+  std::vector<PostedEvent>& drain_into(std::vector<PostedEvent>& out) {
+    out.clear();
+    out.swap(posted_);
+    return out;
+  }
+
+ private:
+  std::vector<PostedEvent> posted_;
+};
+
+}  // namespace clicsim::sim

@@ -1,0 +1,228 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace clicsim::sim {
+
+namespace {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+}  // namespace
+
+void SpinBarrier::arrive_and_wait() {
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+    completion_();
+    arrived_.store(0, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_release);
+  } else {
+    // Bounded busy-wait, then yield: on an oversubscribed (or single-core)
+    // host the last arriver may be descheduled, and pure spinning would
+    // stall the whole group for a timeslice.
+    int spins = 0;
+    while (generation_.load(std::memory_order_acquire) == gen) {
+      if (++spins < 1024) {
+        cpu_relax();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+}
+
+ShardGroup::ShardGroup(Simulator& home, int shards)
+    : home_(home), barrier_(std::max(shards, 1), [this] { serial_phase(); }) {
+  const int k = std::max(shards, 1);
+  sims_.reserve(static_cast<std::size_t>(k));
+  sims_.push_back(&home_);
+  owned_.reserve(static_cast<std::size_t>(k - 1));
+  for (int i = 1; i < k; ++i) {
+    owned_.push_back(std::make_unique<Simulator>());
+    sims_.push_back(owned_.back().get());
+  }
+  mailboxes_.resize(static_cast<std::size_t>(k) * static_cast<std::size_t>(k));
+}
+
+void ShardGroup::declare_channel(int src, int dst, SimTime lookahead,
+                                 const std::string& what) {
+  if (src == dst) return;  // intra-shard: no window constraint
+  if (lookahead <= 0) {
+    std::ostringstream msg;
+    msg << "ShardGroup::declare_channel: cross-shard channel " << what
+        << " (shard " << src << " -> " << dst << ") has non-positive "
+        << "lookahead " << lookahead
+        << " ns; propagation + serialization floor must be > 0 or the "
+        << "conservative window collapses";
+    throw std::logic_error(msg.str());
+  }
+  min_lookahead_ = std::min(min_lookahead_, lookahead);
+}
+
+bool ShardGroup::pending() const {
+  for (const Simulator* s : sims_) {
+    if (s->pending()) return true;
+  }
+  for (const SpscMailbox& m : mailboxes_) {
+    if (!m.empty()) return true;
+  }
+  return false;
+}
+
+SimTime ShardGroup::now() const {
+  SimTime t = 0;
+  for (const Simulator* s : sims_) t = std::max(t, s->now());
+  return t;
+}
+
+std::uint64_t ShardGroup::events_executed() const {
+  std::uint64_t n = 0;
+  for (const Simulator* s : sims_) n += s->events_executed();
+  return n;
+}
+
+void ShardGroup::record_error() {
+  const std::scoped_lock lock(error_mu_);
+  if (!first_error_) first_error_ = std::current_exception();
+  failed_.store(true, std::memory_order_release);
+}
+
+// Runs between windows on whichever thread reached the barrier last; all
+// shard state is quiescent (happens-before via the barrier).
+void ShardGroup::serial_phase() {
+  try {
+    // Inject every mailbox first — even when stopping — so pending() and
+    // the destination queues are accurate at exit. Destination-major,
+    // source ascending, FIFO within a mailbox: with the event heap's
+    // insertion-seq tie-break this is the (time, src-shard, post-order)
+    // merge rule.
+    const int k = shards();
+    for (int dst = 0; dst < k; ++dst) {
+      for (int src = 0; src < k; ++src) {
+        if (src == dst) continue;
+        SpscMailbox& box = mailbox(src, dst);
+        if (box.empty()) continue;
+        box.drain_into(drain_scratch_);
+        for (PostedEvent& ev : drain_scratch_) {
+          sims_[static_cast<std::size_t>(dst)]->at(ev.when,
+                                                   std::move(ev.action));
+        }
+        drain_scratch_.clear();
+      }
+    }
+
+    if (failed_.load(std::memory_order_acquire)) {
+      done_ = true;
+      return;
+    }
+    for (const Simulator* s : sims_) {
+      if (s->stop_requested()) {
+        done_ = true;
+        return;
+      }
+    }
+
+    SimTime t_min = kNever;
+    for (const Simulator* s : sims_) {
+      t_min = std::min(t_min, s->next_event_time());
+    }
+    if (t_min == kNever || (bound_ != kNever && t_min > bound_)) {
+      done_ = true;
+      return;
+    }
+
+    // Window bound: min(T + L, bound + 1), saturating. With no declared
+    // cross-shard channel (L == kNever) the shards are independent and one
+    // window runs them to the bound.
+    SimTime w = kNever;
+    if (min_lookahead_ != kNever) {
+      w = (t_min > kNever - min_lookahead_) ? kNever : t_min + min_lookahead_;
+    }
+    if (bound_ != kNever && (w == kNever || w > bound_ + 1)) {
+      w = bound_ + 1;
+    }
+    window_ = w;
+  } catch (...) {
+    record_error();
+    done_ = true;
+  }
+}
+
+void ShardGroup::worker_loop(int shard) {
+  Simulator& sim = *sims_[static_cast<std::size_t>(shard)];
+  for (;;) {
+    barrier_.arrive_and_wait();
+    if (done_) break;
+    try {
+      sim.run_before(window_);
+    } catch (...) {
+      record_error();
+      // Keep arriving at barriers so the group can agree to stop; the
+      // serial phase sees failed_ and raises done_.
+    }
+  }
+}
+
+std::uint64_t ShardGroup::run_bounded(SimTime bound) {
+  if (shards() == 1) {
+    return bound == kNever ? home_.run() : home_.run_until(bound);
+  }
+
+  const std::uint64_t before = events_executed();
+  for (Simulator* s : sims_) s->clear_stop();
+  bound_ = bound;
+  done_ = false;
+  failed_.store(false, std::memory_order_relaxed);
+  first_error_ = nullptr;
+
+  auto body_for = [this](int shard) {
+    return [this, shard] {
+      if (worker_wrapper_) {
+        worker_wrapper_(shard, [this, shard] { worker_loop(shard); });
+      } else {
+        worker_loop(shard);
+      }
+    };
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(shards() - 1));
+  for (int i = 1; i < shards(); ++i) {
+    workers.emplace_back(body_for(i));
+  }
+  body_for(0)();  // shard 0 runs on the calling thread
+  for (std::thread& t : workers) t.join();
+
+  if (first_error_) std::rethrow_exception(first_error_);
+
+  // Match the single-Simulator clock at exit: a bounded run that ends
+  // quiet leaves every shard at the bound (as run_until does), and an
+  // unbounded run leaves every shard at the time of the globally last
+  // executed event (as run does). Without the latter, a shard that went
+  // idle early keeps a stale clock and anything derived from its sim's
+  // now() — resource utilization above all — diverges from --shards 1.
+  bool any_stop = false;
+  for (const Simulator* s : sims_) any_stop |= s->stop_requested();
+  if (!any_stop) {
+    SimTime final_clock = bound;
+    if (final_clock == kNever) {
+      final_clock = 0;
+      for (const Simulator* s : sims_) {
+        final_clock = std::max(final_clock, s->now());
+      }
+    }
+    for (Simulator* s : sims_) s->advance_now(final_clock);
+  }
+  return events_executed() - before;
+}
+
+}  // namespace clicsim::sim

@@ -1,0 +1,148 @@
+// Conservative parallel discrete-event simulation within one scenario.
+//
+// A ShardGroup partitions a scenario across K Simulator instances (shard 0
+// is the caller-owned "home" simulator; shards 1..K-1 are owned by the
+// group) and runs them on K threads in lockstep barrier windows:
+//
+//   serial phase    inject all cross-shard mailboxes, then compute
+//                   T = min over shards of next_event_time() and the
+//                   window bound W = min(T + L, run-bound), where L is the
+//                   smallest declared cross-shard lookahead;
+//   parallel phase  every shard executes its own events with time < W.
+//
+// L comes from the physical link parameters: a frame sent at time t over a
+// cross-shard link arrives no earlier than t + lookahead (propagation plus
+// the serialization floor, see net::Link), so no event executed inside the
+// window [T, W) can produce a cross-shard effect before W. Mailboxes are
+// therefore only appended during the parallel phase and only drained in the
+// serial phase — null-message-free conservative PDES.
+//
+// Determinism: the serial phase injects mailbox events destination-major,
+// source-shard ascending, FIFO within each mailbox; the destination event
+// heap breaks time ties by insertion sequence, which realizes a global
+// (time, src-shard, post-order) merge rule. A K-shard run is bit-identical
+// to the same scenario on one shard (K == 1 delegates to the plain
+// single-threaded Simulator verbatim).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/mailbox.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace clicsim::sim {
+
+// Spinning generation barrier. Windows are microseconds of simulated time
+// and often only a handful of events, so futex-based std::barrier wakeups
+// dominate the runtime; spinning with a bounded busy phase (then yielding,
+// which keeps single-core hosts live) is the right trade. The last arriver
+// runs the completion function before releasing the generation.
+class SpinBarrier {
+ public:
+  SpinBarrier(int parties, std::function<void()> completion)
+      : parties_(parties), completion_(std::move(completion)) {}
+
+  void arrive_and_wait();
+
+ private:
+  int parties_;
+  std::function<void()> completion_;
+  std::atomic<int> arrived_{0};
+  std::atomic<std::uint64_t> generation_{0};
+};
+
+class ShardGroup {
+ public:
+  // `home` becomes shard 0; `shards - 1` additional simulators are created
+  // and owned by the group. `shards` < 1 is clamped to 1.
+  ShardGroup(Simulator& home, int shards);
+
+  [[nodiscard]] int shards() const { return static_cast<int>(sims_.size()); }
+  [[nodiscard]] Simulator& shard(int i) { return *sims_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] const Simulator& shard(int i) const {
+    return *sims_[static_cast<std::size_t>(i)];
+  }
+
+  // Registers a communication channel from shard `src` to shard `dst` whose
+  // deliveries always trail the sending event by at least `lookahead` ns.
+  // The group's window size is the minimum declared lookahead. Throws
+  // std::logic_error when `lookahead` <= 0 (a zero-lookahead channel would
+  // shrink every window to nothing — a silent deadlock); `what` names the
+  // offending channel in the message.
+  void declare_channel(int src, int dst, SimTime lookahead,
+                       const std::string& what);
+
+  // Posts `action` for execution on shard `dst` at absolute time `when`.
+  // Must be called from shard `src`'s worker during the parallel phase (or
+  // from the controlling thread while the group is not running). `when`
+  // must respect the declared lookahead of the (src, dst) channel.
+  template <typename F>
+  void post(int src, int dst, SimTime when, F&& action) {
+    mailbox(src, dst).post(when, std::forward<F>(action));
+  }
+
+  // Installs a wrapper around each shard worker's run loop, e.g. to enter
+  // a per-thread buffer-pool scope. Called as wrapper(shard, body); the
+  // wrapper must invoke body() exactly once. Shard 0's body runs on the
+  // thread that called run().
+  void set_worker_wrapper(
+      std::function<void(int, const std::function<void()>&)> wrapper) {
+    worker_wrapper_ = std::move(wrapper);
+  }
+
+  // Lockstep execution across all shards; semantics match the Simulator
+  // methods of the same name (run_until leaves every shard clock at `t`
+  // unless some shard stopped). Return the number of events executed
+  // across all shards by this call. With one shard these delegate to the
+  // home simulator unmodified.
+  std::uint64_t run() { return run_bounded(kNever); }
+  std::uint64_t run_until(SimTime t) { return run_bounded(t); }
+  std::uint64_t run_for(SimTime d) { return run_bounded(now() + d); }
+
+  // Aggregate views over the shard set.
+  [[nodiscard]] bool pending() const;
+  [[nodiscard]] SimTime now() const;  // max over shard clocks
+  [[nodiscard]] std::uint64_t events_executed() const;  // sum over shards
+
+ private:
+  std::uint64_t run_bounded(SimTime bound);
+  void serial_phase();
+  void worker_loop(int shard);
+  void record_error();
+
+  SpscMailbox& mailbox(int src, int dst) {
+    return mailboxes_[static_cast<std::size_t>(src) *
+                          static_cast<std::size_t>(shards()) +
+                      static_cast<std::size_t>(dst)];
+  }
+
+  Simulator& home_;
+  std::vector<std::unique_ptr<Simulator>> owned_;
+  std::vector<Simulator*> sims_;
+  std::vector<SpscMailbox> mailboxes_;
+  std::vector<PostedEvent> drain_scratch_;
+  SimTime min_lookahead_ = kNever;
+  std::function<void(int, const std::function<void()>&)> worker_wrapper_;
+
+  // Per-run coordination state. `window_` and `done_` are written only in
+  // the serial phase and read by workers after the barrier release; the
+  // barrier's acquire/release pair is the happens-before edge.
+  SpinBarrier barrier_;
+  SimTime bound_ = kNever;
+  SimTime window_ = 0;
+  bool done_ = false;
+  std::atomic<bool> failed_{false};
+  std::mutex error_mu_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace clicsim::sim

@@ -4,6 +4,17 @@ namespace clicsim::sim {
 
 std::uint64_t Simulator::run() { return run_until(kNever); }
 
+std::uint64_t Simulator::run_before(SimTime bound) {
+  std::uint64_t n = 0;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() < bound) {
+    now_ = queue_.next_time();
+    queue_.run_earliest();
+    ++n;
+  }
+  executed_ += n;
+  return n;
+}
+
 std::uint64_t Simulator::run_until(SimTime t) {
   stopped_ = false;
   std::uint64_t n = 0;

@@ -64,8 +64,27 @@ class Simulator {
 
   std::uint64_t run_for(SimTime d) { return run_until(now_ + d); }
 
+  // Window execution for the sharded engine (sim/shard.hpp): runs events
+  // with time strictly < `bound` and does NOT advance the clock to the
+  // bound afterwards — between barrier windows a shard's clock must stay
+  // on its last executed event so cross-shard injections at earlier times
+  // inside the window remain schedulable. Unlike run_until() this does not
+  // clear a pending stop(): a stop raised inside one window has to stay
+  // visible to the coordinator at the next barrier.
+  std::uint64_t run_before(SimTime bound);
+
   // Makes run()/run_until() return after the current event completes.
   void stop() { stopped_ = true; }
+
+  // Shard-engine hooks: the coordinator clears stops once per group run,
+  // reads stop/next-event state at each barrier, and advances idle shards'
+  // clocks when a bounded group run ends quiet.
+  void clear_stop() { stopped_ = false; }
+  [[nodiscard]] bool stop_requested() const { return stopped_; }
+  [[nodiscard]] SimTime next_event_time() const { return queue_.next_time(); }
+  void advance_now(SimTime t) {
+    if (t != kNever && t > now_) now_ = t;
+  }
 
   [[nodiscard]] bool pending() const { return !queue_.empty(); }
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }

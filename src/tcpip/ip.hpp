@@ -31,6 +31,9 @@ struct Ipv4Header {
   bool more_fragments = false;
   std::int64_t total_len = 0;     // L4 header + data bytes of the datagram
   net::HeaderBlob l4;             // transport header (first fragment only)
+
+  // Cross-shard confinement hook (see net::Frame::detach).
+  void detach_shared() { l4 = l4.detached(); }
 };
 
 // A transport protocol sitting on IP (TCP, UDP).

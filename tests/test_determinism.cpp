@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "apps/chaos.hpp"
 #include "apps/testbed.hpp"
 #include "net/buffer_pool.hpp"
 #include "os/kernel.hpp"
@@ -36,8 +37,10 @@ void mix(std::uint64_t* h, std::uint64_t v) {
 // sweep of message sizes over the reliable channel. Loss forces RTO arms;
 // every ack cancels and re-arms them; delayed-ack timers are cancelled by
 // piggybacking — exactly the timer churn the wheel must keep deterministic.
-Fingerprint clic_trial(bool churn_kernel_timers) {
-  apps::ClicBed bed;
+Fingerprint clic_trial(bool churn_kernel_timers, int shards = 1) {
+  os::ClusterConfig cc;
+  cc.shards = shards;
+  apps::ClicBed bed(cc);
   bed.cluster.set_mtu_all(1500);
   for (int l = 0; l < 2; ++l) {
     for (int d = 0; d < 2; ++d) {
@@ -90,7 +93,7 @@ Fingerprint clic_trial(bool churn_kernel_timers) {
   int received = 0;
   Run::pingpong(bed.module(0), &sent);
   Run::sink(bed.module(1), 4, &received);
-  bed.sim.run();  // drain completely: the final clock is the last event
+  bed.run();  // drain completely: the final clock is the last event
 
   EXPECT_EQ(sent, 4);
   EXPECT_EQ(received, 4);
@@ -106,13 +109,15 @@ Fingerprint clic_trial(bool churn_kernel_timers) {
     mix(&h, bed.cluster.node(node).kernel().timer_wheel().fired());
     mix(&h, bed.cluster.node(node).kernel().timer_wheel().cancelled());
   }
-  return {bed.sim.events_executed(), bed.sim.now(), h};
+  return {bed.events_executed(), bed.now(), h};
 }
 
 // A lossless TCP transfer: delayed-ack and RTO timers on the wheel, socket
 // coroutines, the full two-copy path.
-Fingerprint tcp_trial() {
-  apps::TcpBed bed;
+Fingerprint tcp_trial(int shards = 1) {
+  os::ClusterConfig cc;
+  cc.shards = shards;
+  apps::TcpBed bed(cc);
   bed.cluster.set_mtu_all(1500);
 
   bed.tcp[1]->listen(7);
@@ -134,7 +139,7 @@ Fingerprint tcp_trial() {
   std::int64_t pushed = 0;
   Run::server(*bed.tcp[1], &got);
   Run::client(*bed.tcp[0], 1, &pushed);
-  bed.sim.run();
+  bed.run();
 
   EXPECT_EQ(got, 300000);
   EXPECT_EQ(pushed, 300000);
@@ -148,7 +153,7 @@ Fingerprint tcp_trial() {
     mix(&h, bed.cluster.node(node).kernel().timer_wheel().fired());
     mix(&h, bed.cluster.node(node).kernel().timer_wheel().cancelled());
   }
-  return {bed.sim.events_executed(), bed.sim.now(), h};
+  return {bed.events_executed(), bed.now(), h};
 }
 
 TEST(Determinism, LossyClicScenarioIsBitIdenticalAcrossRuns) {
@@ -211,6 +216,54 @@ TEST_F(PoolingDeterminism, TcpTrialIdenticalPooledAndUnpooled) {
   net::BufferPool::set_pooling_enabled(false);
   const Fingerprint unpooled = tcp_trial();
   EXPECT_EQ(pooled, unpooled);
+}
+
+// Intra-scenario PDES: sharding one scenario across worker threads is a
+// host-side optimization and must be invisible to the simulation. The
+// sharded fingerprints (event counts, final clocks, statistics checksums)
+// must equal the single-shard run bit for bit. A 2-node cluster clamps
+// --shards 8 to 3 (switch shard + one shard per node) — still the maximal
+// cross-shard topology for this scenario.
+TEST(ShardedDeterminism, ShardsLossyClicTrialBitIdentical) {
+  const Fingerprint base = clic_trial(/*churn_kernel_timers=*/false, 1);
+  for (const int shards : {2, 8}) {
+    const Fingerprint sharded =
+        clic_trial(/*churn_kernel_timers=*/false, shards);
+    EXPECT_EQ(base, sharded) << "shards=" << shards;
+  }
+  EXPECT_GT(base.events, 0u);
+}
+
+TEST(ShardedDeterminism, ShardsTimerChurnTrialBitIdentical) {
+  const Fingerprint base = clic_trial(/*churn_kernel_timers=*/true, 1);
+  for (const int shards : {2, 8}) {
+    const Fingerprint sharded =
+        clic_trial(/*churn_kernel_timers=*/true, shards);
+    EXPECT_EQ(base, sharded) << "shards=" << shards;
+  }
+}
+
+TEST(ShardedDeterminism, ShardsTcpTrialBitIdentical) {
+  const Fingerprint base = tcp_trial(1);
+  for (const int shards : {2, 8}) {
+    EXPECT_EQ(base, tcp_trial(shards)) << "shards=" << shards;
+  }
+}
+
+// The chaos soak exercises everything at once — an active sim::FaultPlan
+// (randomized outages, split carrier targets, the scripted heal), burst
+// loss, duplication and reordering — and its one-line digest must be
+// byte-identical at any shard count.
+TEST(ShardedDeterminism, ShardsChaosCampaignSummaryBitIdentical) {
+  apps::ChaosOptions o;
+  o.seed = 11;
+  o.shards = 1;
+  const std::string base = apps::run_chaos_campaign(o).summary();
+  for (const int shards : {2, 8}) {
+    o.shards = shards;
+    EXPECT_EQ(base, apps::run_chaos_campaign(o).summary())
+        << "shards=" << shards;
+  }
 }
 
 }  // namespace
