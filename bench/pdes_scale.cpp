@@ -31,6 +31,8 @@ struct Options {
   int nodes = 64;
   int messages = 48;          // confirmed sends per node
   std::int64_t bytes = 4096;  // payload per message
+  const char* topology = "single-star";
+  os::TopologySpec spec;
 };
 
 [[noreturn]] void usage(const char* prog, int code) {
@@ -44,6 +46,9 @@ struct Options {
                "  --nodes N     cluster size (default 64)\n"
                "  --messages N  confirmed sends per node (default 48)\n"
                "  --bytes N     payload bytes per message (default 4096)\n"
+               "  --topology T  fabric shape: single-star (default),\n"
+               "                leaf-spine, ring, or fat-tree (multi-tier\n"
+               "                shapes shard leaf-locally)\n"
                "  -j N          accepted for script compatibility; this\n"
                "                binary runs exactly one scenario\n",
                prog);
@@ -55,6 +60,22 @@ long parse_long(const char* prog, const char* text, long lo, long hi) {
   const long n = std::strtol(text, &end, 10);
   if (end == text || *end != '\0' || n < lo || n > hi) usage(prog, 2);
   return n;
+}
+
+os::TopologySpec parse_topology(const char* prog, const char* text) {
+  if (std::strcmp(text, "single-star") == 0) {
+    return os::TopologySpec::single_star();
+  }
+  if (std::strcmp(text, "leaf-spine") == 0) {
+    return os::TopologySpec::leaf_spine(0);  // derived leaves, one spine
+  }
+  if (std::strcmp(text, "ring") == 0) {
+    return os::TopologySpec::switch_ring(0);  // derived member count
+  }
+  if (std::strcmp(text, "fat-tree") == 0) {
+    return os::TopologySpec::fat_tree();
+  }
+  usage(prog, 2);
 }
 
 Options parse_args(int argc, char** argv) {
@@ -78,6 +99,9 @@ Options parse_args(int argc, char** argv) {
       o.messages = static_cast<int>(parse_long(prog, value(i), 1, 1 << 20));
     } else if (std::strcmp(arg, "--bytes") == 0) {
       o.bytes = parse_long(prog, value(i), 1, 16 << 20);
+    } else if (std::strcmp(arg, "--topology") == 0) {
+      o.topology = value(i);
+      o.spec = parse_topology(prog, o.topology);
     } else if (std::strcmp(arg, "-j") == 0 ||
                std::strcmp(arg, "--jobs") == 0) {
       (void)parse_long(prog, value(i), 1, 4096);
@@ -150,6 +174,7 @@ int main(int argc, char** argv) {
   os::ClusterConfig cc;
   cc.nodes = o.nodes;
   cc.shards = o.shards;
+  cc.topology = o.spec;
   apps::ClicBed bed(cc);
 
   const int port = 101;  // CLIC wire ports are 8-bit
@@ -190,8 +215,9 @@ int main(int argc, char** argv) {
   fnv(digest, bed.events_executed());
   fnv(digest, static_cast<std::uint64_t>(bed.now()));
 
-  std::printf("pdes_scale nodes=%d messages=%d bytes=%lld\n", o.nodes,
-              o.messages, static_cast<long long>(o.bytes));
+  std::printf("pdes_scale nodes=%d messages=%d bytes=%lld topology=%s\n",
+              o.nodes, o.messages, static_cast<long long>(o.bytes),
+              o.topology);
   std::printf("  delivered %d/%d  failures %d\n", delivered,
               o.nodes * o.messages, failures);
   std::printf("  events %llu  finished_at_us %.3f\n",

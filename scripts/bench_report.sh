@@ -13,7 +13,7 @@ FILTER='BM_ScheduleDispatch|BM_Fig5StyleSweep'
 
 cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j"$(nproc)" --target micro_engine fig5_clic_vs_tcp \
-  pdes_scale >/dev/null
+  pdes_scale collective_scale >/dev/null
 
 "$BUILD/bench/micro_engine" \
   --benchmark_filter="$FILTER" \
@@ -75,9 +75,39 @@ cmp "$BUILD/pdes_scale_sh1.txt" "$BUILD/pdes_scale_sh$NPROC.txt" || {
   exit 1
 }
 
+# Thousand-node gate: the 1024-node 2-level fat-tree must shard
+# bit-identically (stdout cmp) — the headline topology-sharding invariant.
+for sh in 1 "$NPROC"; do
+  "$BUILD/bench/pdes_scale" --nodes 1024 --messages 2 --bytes 1024 \
+    --topology fat-tree --shards "$sh" \
+    > "$BUILD/pdes_1024_sh$sh.txt" 2> /dev/null
+done
+cmp "$BUILD/pdes_1024_sh1.txt" "$BUILD/pdes_1024_sh$NPROC.txt" || {
+  echo "bench_report: 1024-node fat-tree stdout diverged from --shards 1" >&2
+  exit 1
+}
+
+# Log-depth collectives at 128/512/1024 ranks: host trees over CLIC and
+# TCP vs the NIC-offload contender, sharded and serial (stdout must match).
+time_coll() {
+  local start end
+  start=$(date +%s%N)
+  "$BUILD/bench/collective_scale" --shards "$1" \
+    > "$BUILD/collective_scale_sh$1.txt" 2> /dev/null
+  end=$(date +%s%N)
+  echo $(( (end - start) / 1000000 ))
+}
+coll_sh1_ms=$(time_coll 1)
+coll_shN_ms=$(time_coll "$NPROC")
+cmp "$BUILD/collective_scale_sh1.txt" "$BUILD/collective_scale_sh$NPROC.txt" || {
+  echo "bench_report: collective_scale sharded stdout diverged from --shards 1" >&2
+  exit 1
+}
+
 python3 - "$BUILD/micro_engine.json" "$fig5_ms" "$ROOT/BENCH_engine.json" \
   "$fig5_par_ms" "$NPROC" "$BUILD/micro_engine_nopool.json" \
-  "$fig5_sh1_ms" "$fig5_shN_ms" "$pdes_sh1_ms" "$pdes_shN_ms" <<'PY'
+  "$fig5_sh1_ms" "$fig5_shN_ms" "$pdes_sh1_ms" "$pdes_shN_ms" \
+  "$BUILD/collective_scale_sh1.txt" "$coll_sh1_ms" "$coll_shN_ms" <<'PY'
 import json
 import sys
 
@@ -165,6 +195,35 @@ speedup = shard_row(
 )
 speedup["speedup"] = (pdes_sh1 / pdes_shn) if pdes_shn > 0 else None
 rows.append(speedup)
+
+# Collective-scale rows: one per (ranks, stack, op) parsed from the bench's
+# deterministic stdout, plus the sharded wall-clock pair. Latencies are
+# simulated microseconds — identical at any shard count (the cmp above
+# enforced it) — so they track the protocol model, not the host.
+import re
+
+coll_path, coll_sh1_ms, coll_shn_ms = (
+    sys.argv[11], float(sys.argv[12]), float(sys.argv[13]))
+with open(coll_path) as f:
+    for line in f:
+        m = re.match(
+            r"\s*nodes=(\d+)\s+stack=(\S+)\s+barrier_us=([\d.]+)\s+"
+            r"bcast_us=([\d.]+)\s+allreduce_us=([\d.]+)", line)
+        if not m:
+            continue
+        ranks, stack = int(m.group(1)), m.group(2)
+        for op, us in zip(("barrier", "bcast", "allreduce"),
+                          (m.group(3), m.group(4), m.group(5))):
+            rows.append({
+                "bench": f"collective_scale {stack} {op} ({ranks} ranks)",
+                "events_per_sec": None,
+                "wall_ms": None,
+                "sim_events": None,
+                "latency_us": float(us),
+            })
+rows.append(shard_row("collective_scale --shards 1", coll_sh1_ms))
+rows.append(
+    shard_row(f"collective_scale --shards {nproc} (nproc)", coll_shn_ms))
 with open(out_path, "w") as f:
     json.dump(rows, f, indent=2)
     f.write("\n")

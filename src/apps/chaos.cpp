@@ -33,21 +33,26 @@ struct MessageState {
 
 void configure_link_faults(os::Cluster& cluster, const ChaosOptions& o) {
   int stream = 0;
+  auto arm = [&](net::FaultInjector& f) {
+    // One independent stream per link direction, all derived from the
+    // campaign seed so the whole storm replays from one integer.
+    f.set_seed(o.seed * 1000003u + static_cast<std::uint64_t>(stream++));
+    if (o.gilbert_elliott) {
+      f.set_gilbert_elliott(kGeGoodToBad, kGeBadToGood, kGeLossGood,
+                            kGeLossBad);
+    }
+    if (o.duplicates) f.set_duplicate_probability(kDupProbability);
+    if (o.reorder) f.set_delay(kDelayProbability, kDelayJitter);
+  };
   for (int i = 0; i < cluster.size(); ++i) {
     for (int j = 0; j < cluster.config().nics_per_node; ++j) {
-      for (int d = 0; d < 2; ++d) {
-        net::FaultInjector& f = cluster.link(i, j).faults(d);
-        // One independent stream per link direction, all derived from the
-        // campaign seed so the whole storm replays from one integer.
-        f.set_seed(o.seed * 1000003u + static_cast<std::uint64_t>(stream++));
-        if (o.gilbert_elliott) {
-          f.set_gilbert_elliott(kGeGoodToBad, kGeBadToGood, kGeLossGood,
-                                kGeLossBad);
-        }
-        if (o.duplicates) f.set_duplicate_probability(kDupProbability);
-        if (o.reorder) f.set_delay(kDelayProbability, kDelayJitter);
-      }
+      for (int d = 0; d < 2; ++d) arm(cluster.link(i, j).faults(d));
     }
+  }
+  // Trunk streams draw after every node-link stream, so the star's streams
+  // (which have no trunks) are untouched by this loop existing.
+  for (int t = 0; t < cluster.trunk_count(); ++t) {
+    for (int d = 0; d < 2; ++d) arm(cluster.trunk_link(t).faults(d));
   }
 }
 
@@ -60,27 +65,38 @@ void clear_one_injector(net::FaultInjector& f) {
 }
 
 // Heals every link injector at `when`. A direction's injector lives on the
-// sending end's shard, so the clears are split into one scripted piece per
-// owning simulator (switch side first — it carries the fired-fault count);
-// in a single-shard run every piece lands on the same simulator and the
-// effect (and the plan's telemetry) is exactly the historical single
-// clear-all event.
+// sending end's shard, so the clears are split into scripted pieces per
+// owning simulator: one per node-bearing switch for the switch ends of its
+// own node links (switch 0 first — it carries the fired-fault count), one
+// per node for the node ends, one per trunk end. In a single-shard run
+// every piece lands on the same simulator and the effect (and the plan's
+// telemetry) is exactly the historical single clear-all event.
 void schedule_clear_link_faults(sim::FaultPlan& plan, os::Cluster& cluster,
                                 sim::SimTime when) {
   std::vector<std::pair<sim::Simulator*, sim::FaultPlan::Hook>> parts;
-  parts.emplace_back(&cluster.switch_sim(), [&cluster] {
-    for (int i = 0; i < cluster.size(); ++i) {
-      for (int j = 0; j < cluster.config().nics_per_node; ++j) {
-        clear_one_injector(cluster.link(i, j).faults(1));
+  for (int s = 0; s < cluster.topology().leaves(); ++s) {
+    parts.emplace_back(&cluster.sim_of_switch(s), [&cluster, s] {
+      for (int i = 0; i < cluster.size(); ++i) {
+        if (cluster.topology().leaf_of_node(i) != s) continue;
+        for (int j = 0; j < cluster.config().nics_per_node; ++j) {
+          clear_one_injector(cluster.link(i, j).faults(1));
+        }
       }
-    }
-  });
+    });
+  }
   for (int i = 0; i < cluster.size(); ++i) {
     parts.emplace_back(&cluster.sim_of_node(i), [&cluster, i] {
       for (int j = 0; j < cluster.config().nics_per_node; ++j) {
         clear_one_injector(cluster.link(i, j).faults(0));
       }
     });
+  }
+  for (int t = 0; t < cluster.trunk_count(); ++t) {
+    net::Link* link = &cluster.trunk_link(t);
+    for (int d = 0; d < 2; ++d) {
+      parts.emplace_back(&link->end_sim(d),
+                         [link, d] { clear_one_injector(link->faults(d)); });
+    }
   }
   plan.script_parts(when, std::move(parts));
 }
@@ -113,21 +129,28 @@ int chaos_dst(int m, int nodes) {
 }
 
 void collect_fault_telemetry(ChaosReport& r, os::Cluster& cluster) {
+  auto tally = [&r](net::Link& link) {
+    for (int d = 0; d < 2; ++d) {
+      r.link_drops += link.faults(d).dropped();
+      r.link_burst_drops += link.faults(d).burst_drops();
+      r.link_duplicates += link.faults(d).duplicated();
+      r.link_delayed += link.faults(d).delayed();
+    }
+    r.carrier_drops += link.carrier_drops();
+  };
   for (int i = 0; i < cluster.size(); ++i) {
     for (int j = 0; j < cluster.config().nics_per_node; ++j) {
-      net::Link& link = cluster.link(i, j);
-      for (int d = 0; d < 2; ++d) {
-        r.link_drops += link.faults(d).dropped();
-        r.link_burst_drops += link.faults(d).burst_drops();
-        r.link_duplicates += link.faults(d).duplicated();
-        r.link_delayed += link.faults(d).delayed();
-      }
-      r.carrier_drops += link.carrier_drops();
+      tally(cluster.link(i, j));
       r.nic_stall_drops += cluster.node(i).nic(j).stall_drops();
     }
   }
-  r.switch_port_drops += cluster.ethernet_switch().port_down_drops();
-  r.switch_tail_drops += cluster.ethernet_switch().dropped();
+  for (int t = 0; t < cluster.trunk_count(); ++t) {
+    tally(cluster.trunk_link(t));
+  }
+  for (int s = 0; s < cluster.switch_count(); ++s) {
+    r.switch_port_drops += cluster.switch_at(s).port_down_drops();
+    r.switch_tail_drops += cluster.switch_at(s).dropped();
+  }
 }
 
 bool timers_clean(os::Cluster& cluster) {
@@ -163,6 +186,7 @@ ChaosReport run_clic(const ChaosOptions& o) {
   os::ClusterConfig cc;
   cc.nodes = o.nodes;
   cc.shards = o.shards;
+  cc.topology = o.topology;
   clic::Config clc;
   clc.seed = o.seed;
   // Desynchronize retransmission across channels that black-hole together;
@@ -282,6 +306,7 @@ ChaosReport run_tcp(const ChaosOptions& o) {
   os::ClusterConfig cc;
   cc.nodes = o.nodes;
   cc.shards = o.shards;
+  cc.topology = o.topology;
   TcpBed bed(cc);
 
   sim::FaultPlan plan(bed.sim, o.seed);
@@ -368,26 +393,33 @@ ChaosReport run_tcp(const ChaosOptions& o) {
 }  // namespace
 
 void register_cluster_targets(sim::FaultPlan& plan, os::Cluster& cluster) {
+  // Whether a carrier needs one part or two depends only on whether the
+  // cable crosses shards — a leaf-local link whose two ends share a worker
+  // shard flips entirely on that shard's simulator.
+  auto add_carrier = [&plan](net::Link* link) {
+    if (!link->crosses_shards()) {
+      std::vector<sim::FaultPlan::Part> part(1);
+      part[0].sim = &link->end_sim(0);
+      part[0].fail = [link] { link->set_carrier_up(false); };
+      part[0].restore = [link] { link->set_carrier_up(true); };
+      plan.add_target("carrier " + link->name(), std::move(part));
+    } else {
+      // Cross-shard link: each carrier half flips on the shard that owns
+      // that sending end (switch side is the primary part, so telemetry
+      // and logging match the single-shard target exactly).
+      std::vector<sim::FaultPlan::Part> parts(2);
+      parts[0].sim = &link->end_sim(1);
+      parts[0].fail = [link] { link->set_carrier_up_from(1, false); };
+      parts[0].restore = [link] { link->set_carrier_up_from(1, true); };
+      parts[1].sim = &link->end_sim(0);
+      parts[1].fail = [link] { link->set_carrier_up_from(0, false); };
+      parts[1].restore = [link] { link->set_carrier_up_from(0, true); };
+      plan.add_target("carrier " + link->name(), std::move(parts));
+    }
+  };
   for (int i = 0; i < cluster.size(); ++i) {
     for (int j = 0; j < cluster.config().nics_per_node; ++j) {
-      net::Link* link = &cluster.link(i, j);
-      if (cluster.shard_of_node(i) == cluster.switch_shard()) {
-        plan.add_target("carrier " + link->name(),
-                        [link] { link->set_carrier_up(false); },
-                        [link] { link->set_carrier_up(true); });
-      } else {
-        // Cross-shard link: each carrier half flips on the shard that owns
-        // that sending end (switch side is the primary part, so telemetry
-        // and logging match the single-shard target exactly).
-        std::vector<sim::FaultPlan::Part> parts(2);
-        parts[0].sim = &link->end_sim(1);
-        parts[0].fail = [link] { link->set_carrier_up_from(1, false); };
-        parts[0].restore = [link] { link->set_carrier_up_from(1, true); };
-        parts[1].sim = &link->end_sim(0);
-        parts[1].fail = [link] { link->set_carrier_up_from(0, false); };
-        parts[1].restore = [link] { link->set_carrier_up_from(0, true); };
-        plan.add_target("carrier " + link->name(), std::move(parts));
-      }
+      add_carrier(&cluster.link(i, j));
       hw::Nic* nic = &cluster.node(i).nic(j);
       std::vector<sim::FaultPlan::Part> stall(1);
       stall[0].sim = &cluster.sim_of_node(i);
@@ -398,11 +430,27 @@ void register_cluster_targets(sim::FaultPlan& plan, os::Cluster& cluster) {
           std::move(stall));
     }
   }
-  net::Switch* sw = &cluster.ethernet_switch();
-  for (int p = 0; p < sw->ports(); ++p) {
-    plan.add_target("swport " + std::to_string(p),
-                    [sw, p] { sw->set_port_up(p, false); },
-                    [sw, p] { sw->set_port_up(p, true); });
+  // Inter-switch trunks: a spine uplink dying mid-collective is the
+  // cross-tier outage the fabric chaos rows exercise.
+  for (int t = 0; t < cluster.trunk_count(); ++t) {
+    add_carrier(&cluster.trunk_link(t));
+  }
+  for (int s = 0; s < cluster.switch_count(); ++s) {
+    net::Switch* sw = &cluster.switch_at(s);
+    sim::Simulator* owner = &cluster.sim_of_switch(s);
+    // The star keeps its historical bare "swport <p>" names; multi-switch
+    // fabrics qualify them with the stable plan name.
+    const std::string prefix =
+        cluster.switch_count() == 1
+            ? std::string("swport ")
+            : "swport " + cluster.topology().switch_name(s) + ".";
+    for (int p = 0; p < sw->ports(); ++p) {
+      std::vector<sim::FaultPlan::Part> part(1);
+      part[0].sim = owner;
+      part[0].fail = [sw, p] { sw->set_port_up(p, false); };
+      part[0].restore = [sw, p] { sw->set_port_up(p, true); };
+      plan.add_target(prefix + std::to_string(p), std::move(part));
+    }
   }
 }
 

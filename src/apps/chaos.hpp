@@ -38,6 +38,10 @@ struct ChaosOptions {
   // Intra-scenario PDES shards (1 = single-threaded). The campaign's
   // summary() is bit-identical at any shard count.
   int shards = 1;
+  // Fabric shape (default: the legacy single star). Multi-tier specs add
+  // every inter-switch trunk and every switch's ports to the target set,
+  // so a campaign can kill a spine uplink mid-storm.
+  os::TopologySpec topology;
   int messages = 24;          // confirmed sends, round-robin over node pairs
   std::int64_t bytes = 8000;  // payload per message
 
@@ -97,7 +101,10 @@ struct ChaosReport {
 };
 
 // Registers every flappable element of `cluster` as a FaultPlan target:
-// one per link carrier, one per switch port, one per NIC (DMA stall).
+// one per link carrier (node links and inter-switch trunks), one per port
+// on every switch in the fabric, one per NIC (DMA stall). Target names and
+// order depend only on the cluster's shape — never on its shard count — so
+// a seeded campaign replays identically at any parallelism.
 void register_cluster_targets(sim::FaultPlan& plan, os::Cluster& cluster);
 
 // Runs one full campaign in a private simulator and returns its report.

@@ -7,10 +7,14 @@ namespace clicsim::apps {
 
 namespace {
 
-// More shards than nodes+switch would leave workers idle; fewer than 1 is
-// meaningless. Clamping (rather than throwing) lets callers pass nproc.
+// More shards than simulation objects (nodes plus however many switches
+// the topology builds — a fat-tree's spines occupy shards too) would leave
+// workers idle; fewer than 1 is meaningless. Clamping (rather than
+// throwing) lets callers pass nproc. For the legacy single star this is
+// the old [1, nodes + 1] bound.
 int clamped_shards(const os::ClusterConfig& c) {
-  return std::clamp(c.shards, 1, c.nodes + 1);
+  return std::clamp(c.shards, 1,
+                    c.nodes + c.topology.switch_count(c.nodes));
 }
 
 os::ClusterConfig with_clamped_shards(os::ClusterConfig c) {
@@ -64,14 +68,27 @@ TcpBed::TcpBed(os::ClusterConfig cluster_config, tcpip::Config tcp_config)
 }
 
 MpiClicBed::MpiClicBed(os::ClusterConfig cluster_config,
-                       clic::Config clic_config, mpi::Config mpi_config)
-    // MPI beds pin shards = 1: rank coroutines and collectives pass
-    // pool-backed buffers directly between ranks (no link crossing to
-    // detach at), so the thread-confinement argument does not hold there.
-    : bed((cluster_config.shards = 1, std::move(cluster_config)),
-          clic_config) {
+                       clic::Config clic_config, mpi::Config mpi_config,
+                       bool nic_collectives)
+    // Honours cluster_config.shards: every cross-rank byte moves through a
+    // CLIC send/broadcast, i.e. over links that detach frames at shard
+    // boundaries, and each rank's coroutines run on its own node's
+    // simulator — so the PDES thread-confinement argument holds. Drive
+    // rank r's coroutines from sim_of(r), as with any sharded bed. (The
+    // same holds with NIC offload: engines only exchange frames.)
+    : bed(std::move(cluster_config), clic_config) {
   const int n = bed.cluster.size();
+  std::vector<net::MacAddr> macs;
+  if (nic_collectives) {
+    macs.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) macs.push_back(os::Cluster::mac_of(i, 0));
+  }
   for (int i = 0; i < n; ++i) {
+    if (nic_collectives) {
+      engines.push_back(std::make_unique<hw::NicCollectiveEngine>(
+          bed.cluster.node(i).nic(0), i, macs));
+      mpi_config.nic_collective = engines.back().get();
+    }
     transports.push_back(
         std::make_unique<mpi::ClicTransport>(bed.module(i), i, n));
     comms.push_back(
@@ -81,6 +98,9 @@ MpiClicBed::MpiClicBed(os::ClusterConfig cluster_config,
 
 MpiTcpBed::MpiTcpBed(os::ClusterConfig cluster_config,
                      tcpip::Config tcp_config, mpi::Config mpi_config)
+    // TCP-transported beds pin shards = 1: TcpTransport delivers envelopes
+    // by writing into the peer transport's queues directly (no link hop to
+    // detach at), so rank state is not thread-confined.
     : bed((cluster_config.shards = 1, std::move(cluster_config)),
           tcp_config) {
   const int n = bed.cluster.size();

@@ -8,6 +8,7 @@
 
 #include "clic/api.hpp"
 #include "gamma/gamma.hpp"
+#include "hw/nic_collective.hpp"
 #include "mpi/comm.hpp"
 #include "net/buffer_pool.hpp"
 #include "os/address.hpp"
@@ -30,7 +31,7 @@ namespace clicsim::apps {
 
 // Shared chassis of the single-stack beds: pool, home simulator, shard
 // group, cluster and address map. `cluster_config.shards` (clamped to
-// [1, nodes + 1]) selects intra-scenario PDES; with 1 shard everything
+// [1, nodes + switches]) selects intra-scenario PDES; with 1 shard everything
 // below is the classic single-threaded bed, bit for bit. Drive a bed
 // through run()/run_until() — with shards these coordinate the whole
 // group, and `sim.run()` alone would deadlock-free but silently simulate
@@ -84,20 +85,31 @@ struct TcpBed : BedCore {
                   tcpip::Config tcp_config = {});
 };
 
-// N ranks of mini-MPI over CLIC (rank i == node i).
+// N ranks of mini-MPI over CLIC (rank i == node i). With
+// `nic_collectives`, each rank's NIC 0 gets a hw::NicCollectiveEngine and
+// the communicators run barrier/bcast/allreduce on the cards instead of
+// host trees (bench/collective_scale's offload contender).
 struct MpiClicBed {
   ClicBed bed;
+  std::vector<std::unique_ptr<hw::NicCollectiveEngine>> engines;
   std::vector<std::unique_ptr<mpi::ClicTransport>> transports;
   std::vector<std::unique_ptr<mpi::Communicator>> comms;
 
   explicit MpiClicBed(os::ClusterConfig cluster_config = {},
                       clic::Config clic_config = {},
-                      mpi::Config mpi_config = {});
+                      mpi::Config mpi_config = {},
+                      bool nic_collectives = false);
 
   [[nodiscard]] mpi::Communicator& comm(int rank) {
     return *comms.at(static_cast<std::size_t>(rank));
   }
   [[nodiscard]] sim::Simulator& sim() { return bed.sim; }
+  // The simulator that drives rank r (schedule rank-local work here; in a
+  // sharded bed `sim()` alone would race the worker shards).
+  [[nodiscard]] sim::Simulator& sim_of(int rank) { return bed.sim_of(rank); }
+  // Group-wide lifecycle (see BedCore).
+  std::uint64_t run() { return bed.run(); }
+  [[nodiscard]] sim::SimTime now() const { return bed.now(); }
 };
 
 // N ranks of mini-MPI over TCP. Call connect() (and run the sim) before

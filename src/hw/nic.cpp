@@ -84,6 +84,13 @@ void Nic::post_tx_pio(net::Frame frame) {
               });
 }
 
+void Nic::fw_transmit(net::Frame frame) {
+  if (link_ == nullptr) {
+    throw std::logic_error("Nic::fw_transmit: no link attached");
+  }
+  transmit_wire_frames(std::move(frame));
+}
+
 void Nic::transmit_wire_frames(net::Frame frame) {
   if (stalled_) {
     // The TX FIFO is wedged: the frame is lost inside the card.
@@ -169,6 +176,16 @@ void Nic::frame_arrived(net::Frame frame) {
   if (frame.dst.is_multicast() && !frame.dst.is_broadcast() &&
       multicast_groups_.count(frame.dst) == 0) {
     return;  // multicast group we have not joined
+  }
+  if (fw_sink_ && frame.ethertype == fw_ethertype_) {
+    // Firmware-terminated protocol (NIC-resident collectives): consumed
+    // inside the card after per-byte firmware processing.
+    const sim::SimTime proc = sim::transfer_time(
+        frame.payload.size(), profile_.nic_proc_bytes_per_s);
+    sim_->after(proc, [this, frame = std::move(frame)]() mutable {
+      fw_sink_(std::move(frame));
+    });
+    return;
   }
   if (frame.payload_bytes() > mtu_) {
     // Jumbo interoperability: the receiver must also run the larger MTU.

@@ -113,6 +113,24 @@ class Nic : public net::FrameSink {
   void set_mtu(std::int64_t mtu);
   [[nodiscard]] std::int64_t mtu() const { return mtu_; }
 
+  // --- Firmware-resident protocols (hw/nic_collective) --------------------
+
+  // Terminates `ethertype` inside the card: matching RX frames are handed
+  // to `sink` after the firmware's per-byte processing charge — they never
+  // consume a ring slot, host DMA, or interrupt. One ethertype per card.
+  void set_fw_sink(std::uint16_t ethertype,
+                   std::function<void(net::Frame)> sink) {
+    fw_ethertype_ = ethertype;
+    fw_sink_ = std::move(sink);
+  }
+
+  // Firmware-originated transmit: the bytes are already in card memory, so
+  // the frame enters the wire path directly (no descriptor, no PCI DMA).
+  // Stall faults still apply — a wedged card loses the frame in its FIFO.
+  void fw_transmit(net::Frame frame);
+
+  [[nodiscard]] sim::Simulator& sim() const { return *sim_; }
+
   // Fault orchestration: a stalled card is wedged — frames arriving off the
   // wire are lost (no buffer posting) and frames reaching the TX FIFO never
   // make it onto the wire. Host-side rings and descriptors keep working, so
@@ -166,6 +184,8 @@ class Nic : public net::FrameSink {
   int rx_ring_used_ = 0;
   sim::RingQueue<net::Frame> rx_queue_;  // recycled slots: no deque churn
   std::function<void(net::Frame)> rx_bypass_;
+  std::function<void(net::Frame)> fw_sink_;
+  std::uint16_t fw_ethertype_ = 0;
   std::unordered_set<net::MacAddr, net::MacAddrHash> multicast_groups_;
 
   // Frames whose descriptor DMA is in flight, in posting order. PCI and

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "hw/nic_collective.hpp"
+
 namespace clicsim::mpi {
 
 Communicator::Communicator(Transport& transport, Config config)
@@ -158,6 +160,11 @@ void Communicator::on_message(int src, Envelope envelope, net::Buffer data) {
 
 sim::Future<bool> Communicator::barrier() {
   sim::Future<bool> done(transport_->sim());
+  if (config_.nic_collective != nullptr) {
+    config_.nic_collective->barrier(next_coll_seq_++,
+                                    [done]() mutable { done.set(true); });
+    return done;
+  }
   barrier_task(done);
   return done;
 }
@@ -178,7 +185,14 @@ sim::Task Communicator::barrier_task(sim::Future<bool> done) {
 
 sim::Future<net::Buffer> Communicator::bcast(int root, net::Buffer data) {
   sim::Future<net::Buffer> done(transport_->sim());
-  if (transport_->has_native_bcast() && size() > 2) {
+  if (config_.nic_collective != nullptr) {
+    config_.nic_collective->bcast(
+        next_coll_seq_++, root, std::move(data),
+        [done](net::Buffer out) mutable { done.set(std::move(out)); });
+    return done;
+  }
+  if (transport_->has_native_bcast() && config_.use_native_bcast &&
+      size() > 2) {
     if (rank() == root) {
       bcast_native_root(std::move(data), done);
     } else {
@@ -212,7 +226,8 @@ sim::Task Communicator::bcast_task(int root, net::Buffer data,
   const int n = size();
   const int tag = kInternalTagBase + 0x200;
 
-  if (transport_->has_native_bcast() && n > 2 && rank() != root) {
+  if (transport_->has_native_bcast() && config_.use_native_bcast && n > 2 &&
+      rank() != root) {
     RecvResult r = co_await recv(root, tag);
     (void)co_await send(root, kInternalTagBase + 0x201,
                         net::Buffer::zeros(0));
@@ -288,6 +303,12 @@ sim::Task Communicator::reduce_task(int root, net::Buffer data,
 
 sim::Future<net::Buffer> Communicator::allreduce_sum(net::Buffer data) {
   sim::Future<net::Buffer> done(transport_->sim());
+  if (config_.nic_collective != nullptr) {
+    config_.nic_collective->allreduce(
+        next_coll_seq_++, std::move(data),
+        [done](net::Buffer out) mutable { done.set(std::move(out)); });
+    return done;
+  }
   allreduce_task(std::move(data), done);
   return done;
 }

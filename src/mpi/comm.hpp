@@ -14,6 +14,10 @@
 
 #include "mpi/transport.hpp"
 
+namespace clicsim::hw {
+class NicCollectiveEngine;
+}
+
 namespace clicsim::mpi {
 
 inline constexpr int kAnySource = -1;
@@ -24,6 +28,15 @@ struct Config {
   std::int64_t eager_threshold = 16 * 1024;  // rendezvous above this
   sim::SimTime match_cost = sim::nanoseconds(500);   // queue operations
   double reduce_ns_per_byte = 1.0;                   // combine arithmetic
+  // Allow bcast to ride the transport's native broadcast (CLIC's Ethernet
+  // datagram + per-rank confirmations). Disable to force the binomial
+  // host tree — the reliable choice at hundreds of ranks, where a single
+  // dropped broadcast frame has no datagram-level retry.
+  bool use_native_bcast = true;
+  // When set (this rank's NIC offload engine, see hw/nic_collective.hpp),
+  // barrier/bcast/allreduce run on the cards instead of host trees. Every
+  // rank of the communicator must either set it or leave it null.
+  hw::NicCollectiveEngine* nic_collective = nullptr;
 };
 
 struct RecvResult {
@@ -129,6 +142,9 @@ class Communicator {
   std::unordered_map<std::uint64_t, PendingRndvSend> rndv_sends_;
   std::unordered_map<std::uint64_t, PendingRndvRecv> rndv_recvs_;
   std::uint64_t next_msg_id_ = 1;
+  // Sequence for NIC-offloaded collectives; consistent across ranks because
+  // collectives are issued in the same order everywhere (MPI contract).
+  std::uint32_t next_coll_seq_ = 1;
   std::uint64_t sent_ = 0;
   std::uint64_t received_ = 0;
   std::uint64_t unexpected_count_ = 0;

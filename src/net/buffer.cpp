@@ -61,8 +61,20 @@ std::uint64_t Buffer::checksum() const {
 
 Buffer Buffer::detached() const {
   if (!storage_) return *this;
+  // Shared-immutable storage is already safe to cross shards (atomic
+  // refcount, no home pool): keep aliasing instead of copying.
+  if (storage_->shared) return *this;
   auto copy =
       detail::BlockRef::adopt(detail::acquire_data_block_unpooled(len_));
+  const auto src = data();
+  std::copy(src.begin(), src.end(), copy->bytes.data());
+  return Buffer{std::move(copy), 0, len_};
+}
+
+Buffer Buffer::shared() const {
+  if (!storage_ || storage_->shared) return *this;
+  auto copy =
+      detail::BlockRef::adopt(detail::acquire_data_block_shared(len_));
   const auto src = data();
   std::copy(src.begin(), src.end(), copy->bytes.data());
   return Buffer{std::move(copy), 0, len_};

@@ -56,8 +56,23 @@ class Buffer {
   // Copy whose storage (if any) is a fresh unpooled heap block owned only
   // by the result: safe to hand to another shard's thread (the original's
   // refcount and home pool are never touched again through the copy).
-  // Size-only buffers return themselves — nothing to confine.
+  // Size-only buffers return themselves — nothing to confine — and buffers
+  // backed by shared-immutable storage (see shared()) keep aliasing it:
+  // their refcount is atomic, so no copy is needed at a shard boundary.
   [[nodiscard]] Buffer detached() const;
+
+  // Copy-on-write fan-out handle: a buffer backed by a shared-immutable
+  // block (atomic refcount, plain heap, never mutated) that any number of
+  // frames on any shards may alias. Pays one payload copy on first call;
+  // size-only and already-shared buffers return themselves. The switch
+  // flood path converts a frame's payload once, so a 1024-port flood costs
+  // one copy instead of one per egress port.
+  [[nodiscard]] Buffer shared() const;
+
+  // True when the storage is a shared-immutable block.
+  [[nodiscard]] bool is_shared() const {
+    return storage_ && storage_->shared;
+  }
 
   // Identity of the backing storage block (nullptr for size-only buffers);
   // the pool-invariant tests use it to prove recycled blocks are never

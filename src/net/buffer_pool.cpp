@@ -17,6 +17,10 @@ thread_local BufferPool* tls_current_pool = nullptr;
 // Pooling override: -1 follows the environment, 0 forced off, 1 forced on.
 std::atomic<int> pooling_override{-1};
 
+// Payload-copy accounting (see buffer_pool.hpp): minted from any thread.
+std::atomic<std::uint64_t> unpooled_data_mints{0};
+std::atomic<std::uint64_t> shared_data_mint_count{0};
+
 bool env_pooling_enabled() {
   static const bool enabled = std::getenv("CLICSIM_NO_POOL") == nullptr;
   return enabled;
@@ -212,7 +216,25 @@ DataBlock* acquire_data_block_unpooled(std::int64_t size) {
   auto* b = new DataBlock;
   b->bytes.resize(static_cast<std::size_t>(size));
   b->refs = 1;
+  unpooled_data_mints.fetch_add(1, std::memory_order_relaxed);
   return b;
+}
+
+DataBlock* acquire_data_block_shared(std::int64_t size) {
+  auto* b = new DataBlock;
+  b->bytes.resize(static_cast<std::size_t>(size));
+  b->shared = true;
+  b->shared_refs.store(1, std::memory_order_relaxed);
+  shared_data_mint_count.fetch_add(1, std::memory_order_relaxed);
+  return b;
+}
+
+std::uint64_t unpooled_data_copies() noexcept {
+  return unpooled_data_mints.load(std::memory_order_relaxed);
+}
+
+std::uint64_t shared_data_mints() noexcept {
+  return shared_data_mint_count.load(std::memory_order_relaxed);
 }
 
 HeaderRec* acquire_header_rec_unpooled(std::size_t payload_bytes) {

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <typeinfo>
@@ -49,6 +50,13 @@ namespace detail {
 struct DataBlock {
   std::uint32_t refs = 0;
   std::uint8_t size_class = 0;
+  // Shared-immutable variant (copy-on-write flood fan-out): refcounted
+  // through `shared_refs` (atomic) instead of `refs`, never pooled, never
+  // mutated after mint, freed with a plain delete by whichever thread drops
+  // the last reference. The flag itself is written once before the block is
+  // published (the shard barrier provides the happens-before edge).
+  bool shared = false;
+  std::atomic<std::uint32_t> shared_refs{0};
   BufferPool* pool = nullptr;  // home pool; nullptr == plain heap block
   DataBlock* live_prev = nullptr;
   DataBlock* live_next = nullptr;
@@ -88,12 +96,42 @@ struct alignas(std::max_align_t) HeaderRec {
 [[nodiscard]] DataBlock* acquire_data_block_unpooled(std::int64_t size);
 [[nodiscard]] HeaderRec* acquire_header_rec_unpooled(std::size_t payload_bytes);
 
+// Shared-immutable mint (see DataBlock::shared): one payload copy that any
+// number of frames on any shards may alias — the copy-on-write flood path.
+[[nodiscard]] DataBlock* acquire_data_block_shared(std::int64_t size);
+
+// Payload-copy accounting (process-wide, atomic): how many byte-carrying
+// blocks were minted for cross-shard confinement (unpooled deep copies) and
+// how many shared-immutable conversions happened. The COW accounting test
+// reads deltas around a flood to prove the copy count is O(1) per frame,
+// not O(ports).
+[[nodiscard]] std::uint64_t unpooled_data_copies() noexcept;
+[[nodiscard]] std::uint64_t shared_data_mints() noexcept;
+
 // Final-release paths (refcount hit zero).
 void free_data_block(DataBlock* block) noexcept;
 void free_header_rec(HeaderRec* rec) noexcept;
 
+inline void ref(DataBlock* b) noexcept {
+  if (b == nullptr) return;
+  if (b->shared) {
+    b->shared_refs.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    ++b->refs;
+  }
+}
+inline void ref(HeaderRec* r) noexcept {
+  if (r != nullptr) ++r->refs;
+}
 inline void unref(DataBlock* b) noexcept {
-  if (b != nullptr && --b->refs == 0) free_data_block(b);
+  if (b == nullptr) return;
+  if (b->shared) {
+    if (b->shared_refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      free_data_block(b);
+    }
+    return;
+  }
+  if (--b->refs == 0) free_data_block(b);
 }
 inline void unref(HeaderRec* r) noexcept {
   if (r != nullptr && --r->refs == 0) free_header_rec(r);
@@ -110,15 +148,13 @@ class Ref {
     r.rec_ = rec;
     return r;
   }
-  Ref(const Ref& o) noexcept : rec_(o.rec_) {
-    if (rec_ != nullptr) ++rec_->refs;
-  }
+  Ref(const Ref& o) noexcept : rec_(o.rec_) { ref(rec_); }
   Ref(Ref&& o) noexcept : rec_(o.rec_) { o.rec_ = nullptr; }
   Ref& operator=(const Ref& o) noexcept {
     if (this != &o) {
       Rec* old = rec_;
       rec_ = o.rec_;
-      if (rec_ != nullptr) ++rec_->refs;
+      ref(rec_);
       unref(old);
     }
     return *this;

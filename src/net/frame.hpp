@@ -148,9 +148,11 @@ struct Frame {
   }
 
   // Severs all sharing with pool-backed storage: header and payload become
-  // self-owned heap copies. Called once per frame at a shard boundary so
-  // the frame's refcounts and blocks are touched by exactly one thread on
-  // each side of the crossing.
+  // self-owned heap copies (a payload already backed by a shared-immutable
+  // block — the copy-on-write flood path — is kept aliased instead; its
+  // atomic refcount makes that safe). Called once per frame at a shard
+  // boundary so pool-backed refcounts and blocks are touched by exactly one
+  // thread on each side of the crossing.
   void detach() {
     header = header.detached();
     payload = payload.detached();

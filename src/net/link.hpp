@@ -173,6 +173,14 @@ class Link {
     return *end_sims_[check_end(end)];
   }
 
+  // True when the two ends live on different PDES shards: deliveries pay a
+  // mailbox hop plus Frame::detach. The switch flood path uses this to
+  // decide whether converting the payload to shared-immutable storage buys
+  // anything.
+  [[nodiscard]] bool crosses_shards() const {
+    return group_ != nullptr && end_shards_[0] != end_shards_[1];
+  }
+
   [[nodiscard]] FaultInjector& faults(int from_end) {
     return directions_[check_end(from_end)].faults;
   }

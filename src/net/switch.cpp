@@ -51,12 +51,7 @@ void Switch::ingress(int port, Frame frame) {
   if (!frame.src.is_multicast()) table_[frame.src] = port;
 
   if (frame.dst.is_multicast()) {  // includes broadcast
-    for (const auto& p : ports_) {
-      if (p->index != port && p->link != nullptr) {
-        ++flooded_;
-        egress(p->index, frame);
-      }
-    }
+    flood_from(port, frame);
     return;
   }
 
@@ -68,8 +63,28 @@ void Switch::ingress(int port, Frame frame) {
     return;
   }
   // Unknown unicast: flood.
+  flood_from(port, frame);
+}
+
+void Switch::flood_from(int port, Frame& frame) {
+  // Copy-on-write fan-out: if any flooded copy will cross a shard boundary
+  // (where Frame::detach would deep-copy the payload per crossing), convert
+  // the payload to a shared-immutable block once — every per-port copy and
+  // every boundary crossing then aliases that one block, so a flood costs
+  // O(1) payload copies instead of O(ports). Sharing is host-side memory
+  // management only; simulated times and contents are unchanged, keeping
+  // sharded runs bit-identical to --shards 1.
+  if (!frame.payload.is_shared()) {
+    for (const auto& p : ports_) {
+      if (p->index != port && p->link != nullptr && p->flood &&
+          p->link->crosses_shards()) {
+        frame.payload = frame.payload.shared();
+        break;
+      }
+    }
+  }
   for (const auto& p : ports_) {
-    if (p->index != port && p->link != nullptr) {
+    if (p->index != port && p->link != nullptr && p->flood) {
       ++flooded_;
       egress(p->index, frame);
     }
@@ -84,6 +99,7 @@ void Switch::egress(int port, const Frame& frame) {
   }
   if (p.queued >= params_.output_queue_frames) {
     ++dropped_;
+    ++p.drops;
     return;
   }
   ++p.queued;

@@ -55,7 +55,24 @@ class Switch {
   [[nodiscard]] std::uint64_t port_down_drops() const {
     return port_down_drops_;
   }
+  // Tail drops charged to one egress port (uplink congestion shows up here
+  // long before the global dropped() counter tells you where).
+  [[nodiscard]] std::uint64_t dropped_on(int port) const {
+    return ports_.at(static_cast<std::size_t>(port))->drops;
+  }
   [[nodiscard]] std::size_t mac_table_size() const { return table_.size(); }
+
+  // Flood pruning (the fabric's spanning tree): a port with flooding
+  // disabled never receives flooded copies, but unicast frames with a
+  // learned or static table entry still egress through it. The topology
+  // builder disables non-tree inter-switch edges on both ends so a
+  // broadcast reaches every node exactly once and can never loop.
+  void set_flood_enabled(int port, bool enabled) {
+    ports_.at(static_cast<std::size_t>(port))->flood = enabled;
+  }
+  [[nodiscard]] bool flood_enabled(int port) const {
+    return ports_.at(static_cast<std::size_t>(port))->flood;
+  }
 
   // The port a MAC was learned on; -1 when unknown.
   [[nodiscard]] int learned_port(const MacAddr& mac) const;
@@ -74,11 +91,14 @@ class Switch {
     int link_end = -1;
     int queued = 0;
     bool up = true;
+    bool flood = true;
+    std::uint64_t drops = 0;
 
     void frame_arrived(Frame frame) override;
   };
 
   void ingress(int port, Frame frame);
+  void flood_from(int port, Frame& frame);
   void egress(int port, const Frame& frame);
 
   sim::Simulator* sim_;

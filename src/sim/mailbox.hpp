@@ -14,6 +14,7 @@
 // (time, src-shard, seq) merge rule (DESIGN.md §4g).
 #pragma once
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -36,10 +37,17 @@ class SpscMailbox {
   template <typename F>
   void post(SimTime when, F&& action) {
     posted_.push_back(PostedEvent{when, Action(std::forward<F>(action))});
+    ++posts_;
   }
 
   [[nodiscard]] bool empty() const { return posted_.empty(); }
   [[nodiscard]] std::size_t size() const { return posted_.size(); }
+
+  // Events ever posted through this mailbox (monotone; draining does not
+  // reset it). Written only by the producer thread — read it from the
+  // controlling thread after the run, when the worker joins have already
+  // provided the happens-before edge.
+  [[nodiscard]] std::uint64_t posts() const { return posts_; }
 
   // Moves out the posted events in FIFO order and leaves the mailbox empty
   // (capacity retained, so steady-state draining does not allocate).
@@ -51,6 +59,7 @@ class SpscMailbox {
 
  private:
   std::vector<PostedEvent> posted_;
+  std::uint64_t posts_ = 0;
 };
 
 }  // namespace clicsim::sim

@@ -90,6 +90,12 @@ std::uint64_t ShardGroup::events_executed() const {
   return n;
 }
 
+std::uint64_t ShardGroup::cross_shard_posts() const {
+  std::uint64_t n = 0;
+  for (const SpscMailbox& m : mailboxes_) n += m.posts();
+  return n;
+}
+
 void ShardGroup::record_error() {
   const std::scoped_lock lock(error_mu_);
   if (!first_error_) first_error_ = std::current_exception();

@@ -113,6 +113,12 @@ class ShardGroup {
   [[nodiscard]] SimTime now() const;  // max over shard clocks
   [[nodiscard]] std::uint64_t events_executed() const;  // sum over shards
 
+  // Total events ever posted through the cross-shard mailboxes (monotone
+  // across runs). This is the fabric's shard-boundary traffic meter: a
+  // workload whose frames all stay behind their shard-local leaf switch
+  // leaves it untouched. Only valid while the group is not running.
+  [[nodiscard]] std::uint64_t cross_shard_posts() const;
+
  private:
   std::uint64_t run_bounded(SimTime bound);
   void serial_phase();
