@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "apps/testbed.hpp"
+#include "bench/bench_util.hpp"
 #include "sim/task.hpp"
 
 using namespace clicsim;
@@ -32,7 +33,7 @@ using namespace clicsim;
 namespace {
 
 struct Options {
-  int shards = 1;
+  bench::ShardArgs shard;
   std::vector<int> nodes_list = {128, 512, 1024};
   std::int64_t bytes = 1024;  // bcast/allreduce payload (one wire MTU max)
   int tcp_max = 128;          // largest rank count for the tcp-host rows
@@ -41,24 +42,22 @@ struct Options {
 [[noreturn]] void usage(const char* prog, int code) {
   std::FILE* out = code == 0 ? stdout : stderr;
   std::fprintf(out,
-               "usage: %s [--shards N] [--nodes N[,N...]] [--bytes N]"
-               " [--tcp-max N] [-j N]\n"
-               "  --shards N   PDES worker shards per scenario (default 1;\n"
-               "               stdout is byte-identical at any value)\n"
-               "  --nodes L    comma-separated rank counts\n"
-               "               (default 128,512,1024)\n"
-               "  --bytes N    bcast/allreduce payload bytes (default 1024)\n"
-               "  --tcp-max N  skip tcp-host rows above N ranks\n"
-               "               (default 128)\n"
-               "  -j N         accepted for script compatibility\n",
-               prog);
+               "usage: %s [--shards N] [--shard-stats] [--nodes N[,N...]]"
+               " [--bytes N] [--tcp-max N] [-j N]\n"
+               "%s"
+               "  --nodes L      comma-separated rank counts\n"
+               "                 (default 128,512,1024)\n"
+               "  --bytes N      bcast/allreduce payload bytes"
+               " (default 1024)\n"
+               "  --tcp-max N    skip tcp-host rows above N ranks\n"
+               "                 (default 128)\n",
+               prog, bench::kShardArgsHelp);
   std::exit(code);
 }
 
 long parse_long(const char* prog, const char* text, long lo, long hi) {
-  char* end = nullptr;
-  const long n = std::strtol(text, &end, 10);
-  if (end == text || *end != '\0' || n < lo || n > hi) usage(prog, 2);
+  long n = 0;
+  if (!bench::parse_long_in(text, lo, hi, n)) usage(prog, 2);
   return n;
 }
 
@@ -90,25 +89,22 @@ Options parse_args(int argc, char** argv) {
   };
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
+    switch (bench::consume_shard_arg(o.shard, argc, argv, i)) {
+      case bench::ArgOutcome::kConsumed:
+        continue;
+      case bench::ArgOutcome::kBad:
+        usage(prog, 2);
+      case bench::ArgOutcome::kNotMine:
+        break;
+    }
     if (std::strcmp(arg, "-h") == 0 || std::strcmp(arg, "--help") == 0) {
       usage(prog, 0);
-    } else if (std::strcmp(arg, "--shards") == 0) {
-      o.shards = static_cast<int>(parse_long(prog, value(i), 1, 4096));
-    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
-      o.shards = static_cast<int>(parse_long(prog, arg + 9, 1, 4096));
     } else if (std::strcmp(arg, "--nodes") == 0) {
       o.nodes_list = parse_list(prog, value(i));
     } else if (std::strcmp(arg, "--bytes") == 0) {
       o.bytes = parse_long(prog, value(i), 1, 1400);
     } else if (std::strcmp(arg, "--tcp-max") == 0) {
       o.tcp_max = static_cast<int>(parse_long(prog, value(i), 0, 4096));
-    } else if (std::strcmp(arg, "-j") == 0 ||
-               std::strcmp(arg, "--jobs") == 0) {
-      (void)parse_long(prog, value(i), 1, 4096);
-    } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
-      (void)parse_long(prog, arg + 2, 1, 4096);
-    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
-      (void)parse_long(prog, arg + 7, 1, 4096);
     } else {
       usage(prog, 2);
     }
@@ -179,7 +175,7 @@ sim::SimTime run_op(Bed& bed, int n, Start start) {
 }
 
 Cell run_clic_cell(int n, int shards, std::int64_t bytes,
-                   bool nic_collectives) {
+                   bool nic_collectives, bench::ShardStats* stats) {
   os::ClusterConfig cc;
   cc.nodes = n;
   cc.shards = shards;
@@ -207,6 +203,7 @@ Cell run_clic_cell(int n, int shards, std::int64_t bytes,
       });
   cell.complete =
       cell.barrier >= 0 && cell.bcast >= 0 && cell.allreduce >= 0;
+  if (stats != nullptr) stats->absorb(bed.bed.shards);
   return cell;
 }
 
@@ -277,12 +274,16 @@ int main(int argc, char** argv) {
               static_cast<long long>(o.bytes));
   std::uint64_t digest = kFnvOffset;
   bool all_complete = true;
+  bench::ShardStats stats;
+  bench::ShardStats* stats_ptr = o.shard.stats ? &stats : nullptr;
   for (const int n : o.nodes_list) {
-    const Cell host = run_clic_cell(n, o.shards, o.bytes, false);
+    const Cell host =
+        run_clic_cell(n, o.shard.shards, o.bytes, false, stats_ptr);
     print_row(digest, n, "clic-host", host);
     all_complete = all_complete && host.complete;
 
-    const Cell nic = run_clic_cell(n, o.shards, o.bytes, true);
+    const Cell nic =
+        run_clic_cell(n, o.shard.shards, o.bytes, true, stats_ptr);
     print_row(digest, n, "clic-nic", nic);
     all_complete = all_complete && nic.complete;
 
@@ -302,6 +303,7 @@ int main(int argc, char** argv) {
                              std::chrono::steady_clock::now() - wall_start)
                              .count();
   std::fprintf(stderr, "collective_scale: shards=%d wall_ms=%.1f\n",
-               o.shards, wall_ms);
+               o.shard.shards, wall_ms);
+  if (o.shard.stats) stats.print("collective_scale", o.shard.shards);
   return all_complete ? 0 : 1;
 }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "apps/testbed.hpp"
+#include "bench/bench_util.hpp"
 #include "sim/task.hpp"
 
 using namespace clicsim;
@@ -27,7 +28,7 @@ using namespace clicsim;
 namespace {
 
 struct Options {
-  int shards = 1;
+  bench::ShardArgs shard;
   int nodes = 64;
   int messages = 48;          // confirmed sends per node
   std::int64_t bytes = 4096;  // payload per message
@@ -38,27 +39,22 @@ struct Options {
 [[noreturn]] void usage(const char* prog, int code) {
   std::FILE* out = code == 0 ? stdout : stderr;
   std::fprintf(out,
-               "usage: %s [--shards N] [--nodes N] [--messages N]"
-               " [--bytes N] [-j N]\n"
-               "  --shards N    PDES worker shards for the one scenario\n"
-               "                (default 1; stdout is byte-identical at\n"
-               "                any shard count)\n"
-               "  --nodes N     cluster size (default 64)\n"
-               "  --messages N  confirmed sends per node (default 48)\n"
-               "  --bytes N     payload bytes per message (default 4096)\n"
-               "  --topology T  fabric shape: single-star (default),\n"
-               "                leaf-spine, ring, or fat-tree (multi-tier\n"
-               "                shapes shard leaf-locally)\n"
-               "  -j N          accepted for script compatibility; this\n"
-               "                binary runs exactly one scenario\n",
-               prog);
+               "usage: %s [--shards N] [--shard-stats] [--nodes N]"
+               " [--messages N] [--bytes N] [-j N]\n"
+               "%s"
+               "  --nodes N      cluster size (default 64)\n"
+               "  --messages N   confirmed sends per node (default 48)\n"
+               "  --bytes N      payload bytes per message (default 4096)\n"
+               "  --topology T   fabric shape: single-star (default),\n"
+               "                 leaf-spine, ring, or fat-tree (multi-tier\n"
+               "                 shapes shard leaf-locally)\n",
+               prog, bench::kShardArgsHelp);
   std::exit(code);
 }
 
 long parse_long(const char* prog, const char* text, long lo, long hi) {
-  char* end = nullptr;
-  const long n = std::strtol(text, &end, 10);
-  if (end == text || *end != '\0' || n < lo || n > hi) usage(prog, 2);
+  long n = 0;
+  if (!bench::parse_long_in(text, lo, hi, n)) usage(prog, 2);
   return n;
 }
 
@@ -87,12 +83,16 @@ Options parse_args(int argc, char** argv) {
   };
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
+    switch (bench::consume_shard_arg(o.shard, argc, argv, i)) {
+      case bench::ArgOutcome::kConsumed:
+        continue;
+      case bench::ArgOutcome::kBad:
+        usage(prog, 2);
+      case bench::ArgOutcome::kNotMine:
+        break;
+    }
     if (std::strcmp(arg, "-h") == 0 || std::strcmp(arg, "--help") == 0) {
       usage(prog, 0);
-    } else if (std::strcmp(arg, "--shards") == 0) {
-      o.shards = static_cast<int>(parse_long(prog, value(i), 1, 4096));
-    } else if (std::strncmp(arg, "--shards=", 9) == 0) {
-      o.shards = static_cast<int>(parse_long(prog, arg + 9, 1, 4096));
     } else if (std::strcmp(arg, "--nodes") == 0) {
       o.nodes = static_cast<int>(parse_long(prog, value(i), 2, 4096));
     } else if (std::strcmp(arg, "--messages") == 0) {
@@ -102,13 +102,6 @@ Options parse_args(int argc, char** argv) {
     } else if (std::strcmp(arg, "--topology") == 0) {
       o.topology = value(i);
       o.spec = parse_topology(prog, o.topology);
-    } else if (std::strcmp(arg, "-j") == 0 ||
-               std::strcmp(arg, "--jobs") == 0) {
-      (void)parse_long(prog, value(i), 1, 4096);
-    } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
-      (void)parse_long(prog, arg + 2, 1, 4096);
-    } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
-      (void)parse_long(prog, arg + 7, 1, 4096);
     } else {
       usage(prog, 2);
     }
@@ -173,7 +166,7 @@ int main(int argc, char** argv) {
 
   os::ClusterConfig cc;
   cc.nodes = o.nodes;
-  cc.shards = o.shards;
+  cc.shards = o.shard.shards;
   cc.topology = o.spec;
   apps::ClicBed bed(cc);
 
@@ -229,7 +222,12 @@ int main(int argc, char** argv) {
   const double wall_ms =
       std::chrono::duration<double, std::milli>(wall_end - wall_start)
           .count();
-  std::fprintf(stderr, "pdes_scale: shards=%d wall_ms=%.1f\n", o.shards,
-               wall_ms);
+  std::fprintf(stderr, "pdes_scale: shards=%d wall_ms=%.1f\n",
+               o.shard.shards, wall_ms);
+  if (o.shard.stats) {
+    bench::ShardStats stats;
+    stats.absorb(bed.shards);
+    stats.print("pdes_scale", o.shard.shards);
+  }
   return delivered == o.nodes * o.messages && failures == 0 ? 0 : 1;
 }

@@ -75,6 +75,18 @@ cmp "$BUILD/pdes_scale_sh1.txt" "$BUILD/pdes_scale_sh$NPROC.txt" || {
   exit 1
 }
 
+# Engine-coordination counters: the fat-tree storm at --shards 2 prints
+# barrier windows, cross-shard posts and COW payload mints to stderr
+# (--shard-stats; stdout stays cmp-identical). These are simulation-state
+# counts — deterministic on any host — so the window-algebra and zero-copy
+# trajectories stay machine-readable across PRs.
+"$BUILD/bench/pdes_scale" --shards 2 --topology fat-tree --shard-stats \
+  > /dev/null 2> "$BUILD/pdes_shard_stats.txt"
+grep -q shard-stats "$BUILD/pdes_shard_stats.txt" || {
+  echo "bench_report: pdes_scale --shard-stats emitted no stats line" >&2
+  exit 1
+}
+
 # Thousand-node gate: the 1024-node 2-level fat-tree must shard
 # bit-identically (stdout cmp) — the headline topology-sharding invariant.
 for sh in 1 "$NPROC"; do
@@ -107,7 +119,8 @@ cmp "$BUILD/collective_scale_sh1.txt" "$BUILD/collective_scale_sh$NPROC.txt" || 
 python3 - "$BUILD/micro_engine.json" "$fig5_ms" "$ROOT/BENCH_engine.json" \
   "$fig5_par_ms" "$NPROC" "$BUILD/micro_engine_nopool.json" \
   "$fig5_sh1_ms" "$fig5_shN_ms" "$pdes_sh1_ms" "$pdes_shN_ms" \
-  "$BUILD/collective_scale_sh1.txt" "$coll_sh1_ms" "$coll_shN_ms" <<'PY'
+  "$BUILD/collective_scale_sh1.txt" "$coll_sh1_ms" "$coll_shN_ms" \
+  "$BUILD/pdes_shard_stats.txt" <<'PY'
 import json
 import sys
 
@@ -224,6 +237,32 @@ with open(coll_path) as f:
 rows.append(shard_row("collective_scale --shards 1", coll_sh1_ms))
 rows.append(
     shard_row(f"collective_scale --shards {nproc} (nproc)", coll_shn_ms))
+
+# Engine coordination rows (pdes_scale --shards 2 --topology fat-tree
+# --shard-stats): barrier windows opened by the per-channel lookahead
+# matrix, cross-shard mailbox traffic, and the COW payload accounting —
+# shared-immutable mints vs unpooled deep copies (the zero-copy unicast
+# claim is copies == 0 on the frame path). Deterministic counts, host-
+# independent.
+with open(sys.argv[14]) as f:
+    m = re.search(
+        r"shard-stats shards=(\d+) windows=(\d+) barrier_waits=(\d+)"
+        r" cross_shard_posts=(\d+) drained=(\d+) shared_mints=(\d+)"
+        r" unpooled_copies=(\d+)", f.read())
+if not m:
+    sys.exit("bench_report: malformed pdes_scale --shard-stats line")
+for name, value in zip(
+        ("barrier windows", "barrier waits", "cross-shard posts",
+         "drained events", "shared payload mints", "unpooled payload copies"),
+        m.groups()[1:]):
+    rows.append({
+        "bench": f"pdes_scale --shards {m.group(1)} fat-tree: {name}",
+        "events_per_sec": None,
+        "wall_ms": None,
+        "sim_events": None,
+        "count": int(value),
+    })
+
 with open(out_path, "w") as f:
     json.dump(rows, f, indent=2)
     f.write("\n")

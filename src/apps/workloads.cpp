@@ -144,7 +144,9 @@ sim::SimTime mpi_clic_one_way(const Scenario& s, std::int64_t size) {
   clock.reps = s.pingpong_reps;
   mpi_pp_initiator(bed.sim(), bed.comm(0), size, clock);
   mpi_pp_responder(bed.comm(1), size, clock.reps);
-  bed.sim().run();
+  // Group-wide run: the CLIC bed shards, and sim().run() alone would
+  // silently simulate only shard 0's slice (rank 1 never answers).
+  bed.run();
   return clock.one_way();
 }
 

@@ -66,7 +66,9 @@ class Buffer {
   // frames on any shards may alias. Pays one payload copy on first call;
   // size-only and already-shared buffers return themselves. The switch
   // flood path converts a frame's payload once, so a 1024-port flood costs
-  // one copy instead of one per egress port.
+  // one copy instead of one per egress port — and Frame::detach rides the
+  // same block for cross-shard *unicast*, so a payload crossing any number
+  // of shard boundaries is minted at most once and never deep-copied.
   [[nodiscard]] Buffer shared() const;
 
   // True when the storage is a shared-immutable block.

@@ -97,14 +97,16 @@ struct alignas(std::max_align_t) HeaderRec {
 [[nodiscard]] HeaderRec* acquire_header_rec_unpooled(std::size_t payload_bytes);
 
 // Shared-immutable mint (see DataBlock::shared): one payload copy that any
-// number of frames on any shards may alias — the copy-on-write flood path.
+// number of frames on any shards may alias — the copy-on-write flood path
+// and, via Frame::detach, every cross-shard unicast payload.
 [[nodiscard]] DataBlock* acquire_data_block_shared(std::int64_t size);
 
 // Payload-copy accounting (process-wide, atomic): how many byte-carrying
-// blocks were minted for cross-shard confinement (unpooled deep copies) and
-// how many shared-immutable conversions happened. The COW accounting test
-// reads deltas around a flood to prove the copy count is O(1) per frame,
-// not O(ports).
+// blocks were deep-copied into unpooled confinement (Buffer::detached —
+// now only explicit thread-crossing snapshots, never the frame path) and
+// how many shared-immutable conversions happened. The COW accounting tests
+// read deltas to prove floods copy O(1) per frame, not O(ports), and that
+// cross-shard unicast performs zero payload deep-copies.
 [[nodiscard]] std::uint64_t unpooled_data_copies() noexcept;
 [[nodiscard]] std::uint64_t shared_data_mints() noexcept;
 

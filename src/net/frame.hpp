@@ -147,15 +147,18 @@ struct Frame {
     return frame_bytes() + kEthWireOverhead;
   }
 
-  // Severs all sharing with pool-backed storage: header and payload become
-  // self-owned heap copies (a payload already backed by a shared-immutable
-  // block — the copy-on-write flood path — is kept aliased instead; its
-  // atomic refcount makes that safe). Called once per frame at a shard
-  // boundary so pool-backed refcounts and blocks are touched by exactly one
-  // thread on each side of the crossing.
+  // Severs all sharing with pool-backed storage, called once per frame at
+  // a shard boundary so pooled blocks and their non-atomic refcounts are
+  // touched by exactly one thread on each side of the crossing. The header
+  // becomes a self-owned heap copy (small, and its blob record is pooled);
+  // the payload — where the bytes are — converts to a shared-immutable
+  // block instead of deep-copying: one mint per distinct payload, atomic
+  // refcount, safe to alias and release across threads, and a payload
+  // already shared (the copy-on-write flood path, or a unicast detached
+  // at an earlier hop) passes through with zero copies.
   void detach() {
     header = header.detached();
-    payload = payload.detached();
+    payload = payload.shared();
   }
 };
 

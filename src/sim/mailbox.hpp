@@ -2,19 +2,22 @@
 //
 // A mailbox carries events posted by one shard (the producer) for another
 // (the consumer). The sharded run loop is barrier-synchronized: producers
-// only append during the parallel window, and the coordinator drains every
-// mailbox in the serial phase between windows, after all workers have hit
-// the barrier. The barrier provides the happens-before edge in both
-// directions, so the mailbox itself is a plain vector — no atomics, no
-// locks, and (unlike a lock-free ring) no capacity limit to tune.
+// only append during the parallel window, and the coordinator drains the
+// posted-to mailboxes in the serial phase between windows, after all
+// workers have hit the barrier. The barrier provides the happens-before
+// edge in both directions, so the mailbox itself is a plain vector — no
+// atomics, no locks, and (unlike a lock-free ring) no capacity limit to
+// tune. Post/drain accounting lives in the ShardGroup's per-shard lanes
+// (one cache line per producer), not here: the group finds work through
+// its dirty lists rather than scanning the k² mailbox grid, and a mailbox
+// that was never posted to is never touched at all.
 //
 // Determinism contract: the coordinator injects drained events into the
 // consumer's event queue in (destination, source-shard, post-order) order;
 // the event heap's insertion-sequence tie-break then realizes the global
-// (time, src-shard, seq) merge rule (DESIGN.md §4g).
+// (time, src-shard, seq) merge rule (DESIGN.md §4g/§4i).
 #pragma once
 
-#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -37,17 +40,10 @@ class SpscMailbox {
   template <typename F>
   void post(SimTime when, F&& action) {
     posted_.push_back(PostedEvent{when, Action(std::forward<F>(action))});
-    ++posts_;
   }
 
   [[nodiscard]] bool empty() const { return posted_.empty(); }
   [[nodiscard]] std::size_t size() const { return posted_.size(); }
-
-  // Events ever posted through this mailbox (monotone; draining does not
-  // reset it). Written only by the producer thread — read it from the
-  // controlling thread after the run, when the worker joins have already
-  // provided the happens-before edge.
-  [[nodiscard]] std::uint64_t posts() const { return posts_; }
 
   // Moves out the posted events in FIFO order and leaves the mailbox empty
   // (capacity retained, so steady-state draining does not allocate).
@@ -59,7 +55,6 @@ class SpscMailbox {
 
  private:
   std::vector<PostedEvent> posted_;
-  std::uint64_t posts_ = 0;
 };
 
 }  // namespace clicsim::sim

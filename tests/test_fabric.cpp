@@ -294,6 +294,46 @@ TEST(Fabric, FloodAcrossShardsMintsOneSharedPayload) {
   }
 }
 
+// Cross-shard *unicast* rides the same shared-immutable machinery: the
+// data payload is minted once at the first shard boundary and aliased
+// through every further hop — the frame path performs zero unpooled
+// payload deep-copies.
+TEST(Fabric, CrossShardUnicastPerformsZeroPayloadDeepCopies) {
+  os::ClusterConfig cc;
+  cc.nodes = 2;
+  cc.shards = 3;  // switch on shard 0; node 0 -> shard 1, node 1 -> shard 2
+  apps::ClicBed bed(cc);
+  bed.module(0).bind_port(7);
+  bed.module(1).bind_port(7);
+
+  struct Run {
+    static sim::Task tx(clic::ClicModule& m, int* ok) {
+      auto st = co_await m.send(7, 1, 7, net::Buffer::pattern(600, 5),
+                                clic::SendMode::kConfirmed);
+      if (st.ok) ++*ok;
+    }
+    static sim::Task rx(clic::ClicModule& m, int* got) {
+      clic::Message msg = co_await m.recv(7);
+      if (msg.data.size() == 600) ++*got;
+    }
+  };
+  int ok = 0;
+  int got = 0;
+  const std::uint64_t mints0 = net::detail::shared_data_mints();
+  const std::uint64_t copies0 = net::detail::unpooled_data_copies();
+  bed.sim_of(0).at(0, [&bed, &ok] { Run::tx(bed.module(0), &ok); });
+  Run::rx(bed.module(1), &got);
+  bed.run();
+  EXPECT_EQ(ok, 1);
+  EXPECT_EQ(got, 1);
+  // The one data frame crossed two boundaries (node 0 -> switch shard,
+  // switch shard -> node 1): one shared mint at the first, pass-through at
+  // the second. The returning ack carries no data block, so it mints
+  // nothing — and nothing anywhere deep-copies.
+  EXPECT_EQ(net::detail::shared_data_mints() - mints0, 1u);
+  EXPECT_EQ(net::detail::unpooled_data_copies() - copies0, 0u);
+}
+
 // --- Shard placement ----------------------------------------------------------
 
 // Leaf switches co-reside with their node groups, so traffic that stays
