@@ -13,7 +13,7 @@ FILTER='BM_ScheduleDispatch|BM_Fig5StyleSweep'
 
 cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j"$(nproc)" --target micro_engine fig5_clic_vs_tcp \
-  pdes_scale collective_scale >/dev/null
+  pdes_scale collective_scale traffic_tail >/dev/null
 
 "$BUILD/bench/micro_engine" \
   --benchmark_filter="$FILTER" \
@@ -116,11 +116,38 @@ cmp "$BUILD/collective_scale_sh1.txt" "$BUILD/collective_scale_sh$NPROC.txt" || 
   exit 1
 }
 
+# Open-loop tail-latency figure (traffic_tail): HDR p50/p99/p999 per
+# workload x stack cell. The binary exits nonzero if any latency-accounting
+# or tail-ordering claim is violated (set -e propagates that), and its
+# stdout must be byte-identical at -j1 vs -jN and --shards 1 vs 2 — the
+# per-client seeded arrival streams make the rows host- and
+# parallelism-independent regression gates.
+time_tail() {
+  local start end
+  start=$(date +%s%N)
+  "$BUILD/bench/traffic_tail" -j "$1" --shards "$2" \
+    > "$BUILD/traffic_tail_j$1_sh$2.txt" 2> /dev/null
+  end=$(date +%s%N)
+  echo $(( (end - start) / 1000000 ))
+}
+tail_ms=$(time_tail 1 1)
+tail_par_ms=$(time_tail "$NPROC" 1)
+time_tail 1 2 > /dev/null
+cmp "$BUILD/traffic_tail_j1_sh1.txt" "$BUILD/traffic_tail_j${NPROC}_sh1.txt" || {
+  echo "bench_report: traffic_tail stdout diverged between -j1 and -j$NPROC" >&2
+  exit 1
+}
+cmp "$BUILD/traffic_tail_j1_sh1.txt" "$BUILD/traffic_tail_j1_sh2.txt" || {
+  echo "bench_report: traffic_tail sharded stdout diverged from --shards 1" >&2
+  exit 1
+}
+
 python3 - "$BUILD/micro_engine.json" "$fig5_ms" "$ROOT/BENCH_engine.json" \
   "$fig5_par_ms" "$NPROC" "$BUILD/micro_engine_nopool.json" \
   "$fig5_sh1_ms" "$fig5_shN_ms" "$pdes_sh1_ms" "$pdes_shN_ms" \
   "$BUILD/collective_scale_sh1.txt" "$coll_sh1_ms" "$coll_shN_ms" \
-  "$BUILD/pdes_shard_stats.txt" <<'PY'
+  "$BUILD/pdes_shard_stats.txt" \
+  "$BUILD/traffic_tail_j1_sh1.txt" "$tail_ms" "$tail_par_ms" <<'PY'
 import json
 import sys
 
@@ -262,6 +289,33 @@ for name, value in zip(
         "sim_events": None,
         "count": int(value),
     })
+
+# Open-loop tail-latency rows (traffic_tail): simulated nanoseconds per
+# workload x stack cell, parsed from the cmp-gated deterministic stdout.
+# These are the regression claims for the tail story — CLIC beats TCP at
+# p99 under Poisson/bursty/streaming load, and the incast inversion
+# (fixed-RTO CLIC collapsing under synchronized waves) stays visible.
+tail_path, tail_ms, tail_par_ms = (
+    sys.argv[15], float(sys.argv[16]), float(sys.argv[17]))
+with open(tail_path) as f:
+    for line in f:
+        m = re.match(
+            r"\s*(rpc-\S+|streaming)\s+(clic|tcp)\s+(\d+)\s+(\d+)\s+(\d+)"
+            r"\s+(\d+)\s+(\d+)\s+([0-9a-f]{16})", line)
+        if not m:
+            continue
+        rows.append({
+            "bench": f"traffic_tail {m.group(1)} {m.group(2)}",
+            "events_per_sec": None,
+            "wall_ms": None,
+            "sim_events": None,
+            "responses": int(m.group(3)),
+            "p50_ns": int(m.group(4)),
+            "p99_ns": int(m.group(5)),
+            "p999_ns": int(m.group(6)),
+        })
+rows.append(shard_row("traffic_tail -j1 --shards 1", tail_ms))
+rows.append(shard_row(f"traffic_tail -j{nproc} (nproc)", tail_par_ms))
 
 with open(out_path, "w") as f:
     json.dump(rows, f, indent=2)

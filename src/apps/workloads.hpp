@@ -13,6 +13,7 @@
 #include <functional>
 #include <vector>
 
+#include "apps/jitter_buffer.hpp"
 #include "apps/testbed.hpp"
 #include "sim/stats.hpp"
 
@@ -74,6 +75,100 @@ struct StreamStats {
                                       std::int64_t total_bytes);
 [[nodiscard]] StreamStats tcp_stream(const Scenario& s,
                                      std::int64_t total_bytes);
+
+// --- Open-loop traffic (tail-latency telemetry; DESIGN.md §4j) --------------
+//
+// Unlike the closed-loop drivers above, these workloads schedule request
+// arrivals from per-client seeded Rng streams *before* the run: a slow
+// response never throttles the offered load, so queueing delay shows up in
+// the tail instead of silently shrinking the workload (coordinated
+// omission). Latency is measured from the scheduled arrival to the
+// response (RPC) or frame completion (streaming), and recorded in
+// HdrHistograms merged in client/stream index order — results are
+// byte-identical at any sweep -j and any --shards.
+
+struct ArrivalSpec {
+  enum class Process {
+    kPoisson,  // memoryless arrivals at rate_per_s
+    kBursty,   // Poisson at rate_per_s during exponential ON periods,
+               // silent during exponential OFF periods
+    kIncast,   // every client fires in lockstep once per incast_period
+  };
+  Process process = Process::kPoisson;
+  double rate_per_s = 1000.0;  // per-client rate while eligible
+  double on_mean_s = 0.002;    // kBursty: mean ON duration
+  double off_mean_s = 0.004;   // kBursty: mean OFF duration
+  sim::SimTime incast_period = sim::milliseconds(1.0);
+  sim::SimTime start = sim::microseconds(100.0);  // first eligible instant
+};
+
+// The absolute, strictly increasing arrival times of `client`'s `count`
+// requests: a pure function of (spec, seed, client), computable on any
+// shard without coordination.
+[[nodiscard]] std::vector<sim::SimTime> arrival_times(const ArrivalSpec& spec,
+                                                      int count,
+                                                      std::uint64_t seed,
+                                                      int client);
+
+struct RpcConfig {
+  int client_nodes = 4;       // nodes 1..client_nodes; node 0 is the server
+  int clients_per_node = 8;   // logical clients multiplexed per node
+  int requests_per_client = 25;
+  std::int64_t request_bytes = 128;    // >= 16 (wire header)
+  std::int64_t response_bytes = 1024;  // >= 16 (wire header)
+  ArrivalSpec arrivals;
+  std::uint64_t seed = 1;
+  int sig_digits = 3;  // latency histogram precision
+  // Nonzero: a seeded FaultPlan burst-loss campaign (random carrier/port/
+  // DMA outages, all healed by 10 ms) runs under the workload.
+  std::uint64_t fault_seed = 0;
+};
+
+struct RpcResult {
+  sim::HdrHistogram latency{3};  // ns, scheduled arrival -> response
+  std::uint64_t requests = 0;    // scheduled (open-loop offered load)
+  std::uint64_t responses = 0;   // completed request/response pairs
+  std::uint64_t in_flight = 0;   // never answered by quiesce (== requests
+                                 // - responses; 0 under paper_clic_config)
+  sim::SimTime finished_at = 0;
+  std::uint64_t events = 0;
+  std::uint64_t digest = 0;  // FNV over every (client, seq, latency) row
+};
+
+[[nodiscard]] RpcResult rpc_clic(const Scenario& s, const RpcConfig& cfg);
+[[nodiscard]] RpcResult rpc_tcp(const Scenario& s, const RpcConfig& cfg);
+
+struct StreamingConfig {
+  int streams = 4;  // one sender node per stream; node 0 receives all
+  int frames_per_stream = 48;
+  std::int64_t frame_bytes = 24000;
+  std::int64_t fragment_bytes = 1200;  // wire size per fragment, > 16
+  sim::SimTime cadence = sim::milliseconds(5.0);
+  sim::SimTime deadline = sim::milliseconds(4.0);  // playout budget per frame
+  sim::SimTime start = sim::microseconds(100.0);
+  std::uint64_t seed = 1;  // per-stream phase jitter
+  int sig_digits = 3;
+  std::uint64_t fault_seed = 0;  // as RpcConfig::fault_seed
+};
+
+struct StreamingResult {
+  sim::HdrHistogram latency{3};  // ns, frame generated -> reassembled
+  std::uint64_t frames = 0;      // expected across all streams
+  std::uint64_t on_time = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t late_fragments = 0;
+  std::uint64_t duplicate_fragments = 0;
+  std::uint64_t in_flight = 0;  // pending at quiesce (0: every deadline fired)
+  int max_depth = 0;            // jitter-buffer high-water mark (any stream)
+  sim::SimTime finished_at = 0;
+  std::uint64_t events = 0;
+  std::uint64_t digest = 0;
+};
+
+[[nodiscard]] StreamingResult streaming_clic(const Scenario& s,
+                                             const StreamingConfig& cfg);
+[[nodiscard]] StreamingResult streaming_tcp(const Scenario& s,
+                                            const StreamingConfig& cfg);
 
 // --- Sweep helpers ---------------------------------------------------------------
 // Log-spaced sizes from `lo` to `hi` (inclusive-ish), `per_decade` points.
