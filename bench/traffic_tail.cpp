@@ -14,6 +14,13 @@
 // bench::exit_code(): a violated claim (lost requests, deadline misses on
 // a clean link, broken quantile ordering, inexact merge) fails the binary
 // and scripts/bench_report.sh records the rows as regression gates.
+//
+// `--adaptive` appends three more RPC cells running the repaired stack
+// (adaptive_clic_config, column "clic-a"; DESIGN.md §4k) and gates the
+// repair: adaptive-CLIC p99 must beat fixed-CLIC by >=10x under incast and
+// stay within 1.5x of fixed-CLIC on Poisson/bursty. Without the flag the
+// output is byte-identical to the fixed-clock figure.
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdint>
@@ -92,12 +99,26 @@ void print_rpc_row(const std::string& name, const std::string& stack,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const apps::SweepOptions opts = apps::parse_sweep_args(argc, argv);
+  // --adaptive is ours; everything else goes to the sweep parser (which
+  // exits on unknown arguments).
+  bool adaptive = false;
+  std::vector<char*> sweep_argv;
+  sweep_argv.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--adaptive") {
+      adaptive = true;
+      continue;
+    }
+    sweep_argv.push_back(argv[i]);
+  }
+  const apps::SweepOptions opts = apps::parse_sweep_args(
+      static_cast<int>(sweep_argv.size()), sweep_argv.data());
 
   struct Cell {
     std::string name;
     std::string stack;
     apps::ArrivalSpec::Process process;
+    bool adaptive = false;
   };
   const std::vector<Cell> rpc_cells = {
       {"rpc-poisson", "clic", apps::ArrivalSpec::Process::kPoisson},
@@ -107,21 +128,31 @@ int main(int argc, char** argv) {
       {"rpc-incast", "clic", apps::ArrivalSpec::Process::kIncast},
       {"rpc-incast", "tcp", apps::ArrivalSpec::Process::kIncast},
   };
+  // The repaired stack's cells ride after the fixed 8-cell figure so every
+  // default row (and the clic/tcp pairing below) keeps its position.
+  const std::vector<Cell> adaptive_cells = {
+      {"rpc-poisson", "clic-a", apps::ArrivalSpec::Process::kPoisson, true},
+      {"rpc-bursty", "clic-a", apps::ArrivalSpec::Process::kBursty, true},
+      {"rpc-incast", "clic-a", apps::ArrivalSpec::Process::kIncast, true},
+  };
 
   const auto wall_start = std::chrono::steady_clock::now();
 
   apps::SweepRunner<Row> runner(opts);
-  for (const auto& cell : rpc_cells) {
+  auto add_rpc_cell = [&opts, &runner](const Cell& cell) {
     runner.add([&opts, cell] {
       Row row;
       row.name = cell.name;
       row.stack = cell.stack;
       const apps::RpcConfig cfg = rpc_config(cell.process);
-      row.rpc = cell.stack == "clic" ? rpc_clic(scenario(opts.shards), cfg)
-                                     : rpc_tcp(scenario(opts.shards), cfg);
+      apps::Scenario s = scenario(opts.shards);
+      if (cell.adaptive) s.clic = apps::adaptive_clic_config();
+      row.rpc =
+          cell.stack == "tcp" ? rpc_tcp(s, cfg) : rpc_clic(s, cfg);
       return row;
     });
-  }
+  };
+  for (const auto& cell : rpc_cells) add_rpc_cell(cell);
   for (const std::string stack : {"clic", "tcp"}) {
     runner.add([&opts, stack] {
       Row row;
@@ -134,6 +165,9 @@ int main(int argc, char** argv) {
                      : apps::streaming_tcp(scenario(opts.shards), cfg);
       return row;
     });
+  }
+  if (adaptive) {
+    for (const auto& cell : adaptive_cells) add_rpc_cell(cell);
   }
   const std::vector<Row> rows = runner.run();
 
@@ -221,7 +255,10 @@ int main(int argc, char** argv) {
   // fixed clock with no backoff or congestion control, so synchronized
   // request waves drive it into a retransmission storm that TCP's adaptive
   // RTO absorbs. Both directions are regression-gated.
-  for (std::size_t i = 0; i + 1 < rows.size(); i += 2) {
+  // Only the fixed 8-cell figure pairs clic/tcp by adjacency; the adaptive
+  // cells (appended after) are compared by name below.
+  const std::size_t paired = std::min<std::size_t>(rows.size(), 8);
+  for (std::size_t i = 0; i + 1 < paired; i += 2) {
     const std::int64_t clic_p99 =
         rows[i].is_stream ? rows[i].strm.latency.quantile(0.99)
                           : rows[i].rpc.latency.quantile(0.99);
@@ -234,6 +271,33 @@ int main(int argc, char** argv) {
     } else {
       bench::claim(rows[i].name + ": CLIC p99 < TCP p99",
                    clic_p99 < tcp_p99);
+    }
+  }
+
+  if (adaptive) {
+    // The repair gates (ISSUE 10): adaptive CLIC must flatten the incast
+    // storm by >=10x versus the fixed clock, without regressing the
+    // workloads the paper stack already wins (within 1.5x on Poisson and
+    // bursty arrivals).
+    auto p99_of = [&rows](const std::string& name,
+                          const std::string& stack) -> std::int64_t {
+      for (const auto& row : rows) {
+        if (!row.is_stream && row.name == name && row.stack == stack) {
+          return row.rpc.latency.quantile(0.99);
+        }
+      }
+      return -1;
+    };
+    const std::int64_t fixed_incast = p99_of("rpc-incast", "clic");
+    const std::int64_t adapt_incast = p99_of("rpc-incast", "clic-a");
+    bench::claim(
+        "rpc-incast: adaptive repairs the collapse (p99 <= fixed p99 / 10)",
+        adapt_incast > 0 && adapt_incast * 10 <= fixed_incast);
+    for (const std::string name : {"rpc-poisson", "rpc-bursty"}) {
+      const std::int64_t fixed_p99 = p99_of(name, "clic");
+      const std::int64_t adapt_p99 = p99_of(name, "clic-a");
+      bench::claim(name + ": adaptive within 1.5x of fixed CLIC p99",
+                   adapt_p99 > 0 && 2 * adapt_p99 <= 3 * fixed_p99);
     }
   }
 

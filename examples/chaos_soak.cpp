@@ -5,10 +5,12 @@
 //   ./chaos_soak 7                     # one seed, both stacks
 //   ./chaos_soak 7 clic                # one seed, one stack
 //   ./chaos_soak --shards 4 7 clic     # same campaign, 4 PDES shards
+//   ./chaos_soak --adaptive 7 clic     # adaptive reliability mode (§4k)
 //
 // Every line is deterministic for a given seed — a failing CI campaign is
 // reproduced by passing the seed it printed — and is byte-identical at any
-// --shards value.
+// --shards value. Without --adaptive the output is byte-identical to the
+// fixed-clock harness.
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
@@ -21,14 +23,25 @@ int main(int argc, char** argv) {
   using namespace clicsim;
 
   int shards = 1;
-  if (argc > 2 && std::string(argv[1]) == "--shards") {
-    shards = std::atoi(argv[2]);
-    if (shards < 1) {
-      std::cerr << "chaos_soak: --shards needs a positive count\n";
-      return 2;
+  bool adaptive = false;
+  bool parsing_flags = true;
+  while (parsing_flags && argc > 1) {
+    const std::string flag = argv[1];
+    if (flag == "--shards" && argc > 2) {
+      shards = std::atoi(argv[2]);
+      if (shards < 1) {
+        std::cerr << "chaos_soak: --shards needs a positive count\n";
+        return 2;
+      }
+      argv += 2;
+      argc -= 2;
+    } else if (flag == "--adaptive") {
+      adaptive = true;
+      argv += 1;
+      argc -= 1;
+    } else {
+      parsing_flags = false;
     }
-    argv += 2;
-    argc -= 2;
   }
 
   std::vector<std::uint64_t> seeds = {1, 2, 3, 4};
@@ -47,6 +60,7 @@ int main(int argc, char** argv) {
       o.stack = stack;
       o.seed = seed;
       o.shards = shards;
+      o.adaptive = adaptive;
       const apps::ChaosReport r = apps::run_chaos_campaign(o);
       std::cout << r.summary() << '\n';
       if (!r.liveness_ok()) {

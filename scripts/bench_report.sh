@@ -142,12 +142,39 @@ cmp "$BUILD/traffic_tail_j1_sh1.txt" "$BUILD/traffic_tail_j1_sh2.txt" || {
   exit 1
 }
 
+# Adaptive reliability rows (clic-a): the same figure with the RFC 6298 /
+# congestion-response stack added. The exit code additionally gates the
+# incast-repair claim (adaptive p99 <= fixed p99 / 10) and the poisson /
+# bursty 1.5x guardrails; the -j and --shards cmp pins the adaptive
+# scheduler (estimator, cwnd, pacing timers) to a deterministic schedule.
+time_tail_adaptive() {
+  local start end
+  start=$(date +%s%N)
+  "$BUILD/bench/traffic_tail" --adaptive -j "$1" --shards "$2" \
+    > "$BUILD/traffic_tail_a_j$1_sh$2.txt" 2> /dev/null
+  end=$(date +%s%N)
+  echo $(( (end - start) / 1000000 ))
+}
+tail_a_ms=$(time_tail_adaptive 1 1)
+tail_a_par_ms=$(time_tail_adaptive "$NPROC" 1)
+time_tail_adaptive 1 2 > /dev/null
+cmp "$BUILD/traffic_tail_a_j1_sh1.txt" \
+    "$BUILD/traffic_tail_a_j${NPROC}_sh1.txt" || {
+  echo "bench_report: adaptive traffic_tail diverged between -j1 and -j$NPROC" >&2
+  exit 1
+}
+cmp "$BUILD/traffic_tail_a_j1_sh1.txt" "$BUILD/traffic_tail_a_j1_sh2.txt" || {
+  echo "bench_report: adaptive traffic_tail sharded stdout diverged from --shards 1" >&2
+  exit 1
+}
+
 python3 - "$BUILD/micro_engine.json" "$fig5_ms" "$ROOT/BENCH_engine.json" \
   "$fig5_par_ms" "$NPROC" "$BUILD/micro_engine_nopool.json" \
   "$fig5_sh1_ms" "$fig5_shN_ms" "$pdes_sh1_ms" "$pdes_shN_ms" \
   "$BUILD/collective_scale_sh1.txt" "$coll_sh1_ms" "$coll_shN_ms" \
   "$BUILD/pdes_shard_stats.txt" \
-  "$BUILD/traffic_tail_j1_sh1.txt" "$tail_ms" "$tail_par_ms" <<'PY'
+  "$BUILD/traffic_tail_j1_sh1.txt" "$tail_ms" "$tail_par_ms" \
+  "$BUILD/traffic_tail_a_j1_sh1.txt" "$tail_a_ms" "$tail_a_par_ms" <<'PY'
 import json
 import sys
 
@@ -297,25 +324,42 @@ for name, value in zip(
 # (fixed-RTO CLIC collapsing under synchronized waves) stays visible.
 tail_path, tail_ms, tail_par_ms = (
     sys.argv[15], float(sys.argv[16]), float(sys.argv[17]))
-with open(tail_path) as f:
-    for line in f:
-        m = re.match(
-            r"\s*(rpc-\S+|streaming)\s+(clic|tcp)\s+(\d+)\s+(\d+)\s+(\d+)"
-            r"\s+(\d+)\s+(\d+)\s+([0-9a-f]{16})", line)
-        if not m:
-            continue
-        rows.append({
-            "bench": f"traffic_tail {m.group(1)} {m.group(2)}",
-            "events_per_sec": None,
-            "wall_ms": None,
-            "sim_events": None,
-            "responses": int(m.group(3)),
-            "p50_ns": int(m.group(4)),
-            "p99_ns": int(m.group(5)),
-            "p999_ns": int(m.group(6)),
-        })
+
+
+def tail_rows(path, stacks):
+    out = []
+    with open(path) as f:
+        for line in f:
+            m = re.match(
+                r"\s*(rpc-\S+|streaming)\s+(clic-a|clic|tcp)\s+(\d+)\s+(\d+)"
+                r"\s+(\d+)\s+(\d+)\s+(\d+)\s+([0-9a-f]{16})", line)
+            if not m or m.group(2) not in stacks:
+                continue
+            out.append({
+                "bench": f"traffic_tail {m.group(1)} {m.group(2)}",
+                "events_per_sec": None,
+                "wall_ms": None,
+                "sim_events": None,
+                "responses": int(m.group(3)),
+                "p50_ns": int(m.group(4)),
+                "p99_ns": int(m.group(5)),
+                "p999_ns": int(m.group(6)),
+            })
+    return out
+
+
+rows += tail_rows(tail_path, {"clic", "tcp"})
 rows.append(shard_row("traffic_tail -j1 --shards 1", tail_ms))
 rows.append(shard_row(f"traffic_tail -j{nproc} (nproc)", tail_par_ms))
+
+# Adaptive rows: only the clic-a cells (the fixed rows in the --adaptive
+# run are cmp-identical to the default run, so they are not re-emitted).
+tail_a_path, tail_a_ms, tail_a_par_ms = (
+    sys.argv[18], float(sys.argv[19]), float(sys.argv[20]))
+rows += tail_rows(tail_a_path, {"clic-a"})
+rows.append(shard_row("traffic_tail --adaptive -j1 --shards 1", tail_a_ms))
+rows.append(
+    shard_row(f"traffic_tail --adaptive -j{nproc} (nproc)", tail_a_par_ms))
 
 with open(out_path, "w") as f:
     json.dump(rows, f, indent=2)

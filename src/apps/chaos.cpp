@@ -192,6 +192,7 @@ ChaosReport run_clic(const ChaosOptions& o) {
   // Desynchronize retransmission across channels that black-hole together;
   // jitter is off by default to keep the figure baselines bit-identical.
   clc.rto_jitter = 0.25;
+  clc.adaptive = o.adaptive;
   ClicBed bed(cc, clc);
 
   sim::FaultPlan plan(bed.sim, o.seed);
@@ -292,6 +293,27 @@ ChaosReport run_clic(const ChaosOptions& o) {
       r.timeouts += ch->timeouts();
       r.gave_up += ch->gave_up();
       r.resets_accepted += ch->resets_accepted();
+    }
+  }
+  if (o.adaptive) {
+    r.adaptive = true;
+    bool first = true;
+    for (int i = 0; i < bed.cluster.size(); ++i) {
+      const clic::ClicModule::AdaptiveStats s =
+          bed.module(i).adaptive_stats();
+      r.rtt_samples += s.rtt_samples;
+      r.window_collapses += s.window_collapses;
+      r.srtt_max = std::max(r.srtt_max, s.srtt_max);
+      r.rttvar_max = std::max(r.rttvar_max, s.rttvar_max);
+      if (s.window_max == 0) continue;  // node instantiated no channels
+      if (first) {
+        r.window_min = s.window_min;
+        r.window_max = s.window_max;
+        first = false;
+      } else {
+        r.window_min = std::min(r.window_min, s.window_min);
+        r.window_max = std::max(r.window_max, s.window_max);
+      }
     }
   }
   return r;
@@ -474,6 +496,14 @@ std::string ChaosReport::summary() const {
      << " tail=" << switch_tail_drops << " stall=" << nic_stall_drops
      << " retx=" << retransmits << " timeouts=" << timeouts
      << " gave_up=" << gave_up << " resets=" << resets_accepted;
+  if (adaptive) {
+    // Appended only for adaptive campaigns: the non-adaptive digest stays
+    // byte-identical to the fixed-clock harness.
+    os << " adaptive=1 rtt_samples=" << rtt_samples
+       << " collapses=" << window_collapses << " srtt_ns=" << srtt_max
+       << " rttvar_ns=" << rttvar_max << " win=" << window_min << ".."
+       << window_max;
+  }
   return os.str();
 }
 

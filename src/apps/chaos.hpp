@@ -58,6 +58,12 @@ struct ChaosOptions {
   // budget: sends in flight to/from it must fail *cleanly* (bounded
   // failure), and the peer must resynchronize when it comes back.
   bool hard_partition = true;
+
+  // Run the CLIC stack in adaptive reliability mode (DESIGN.md §4k):
+  // measured-RTT RTO ladder + congestion window. The liveness contract is
+  // unchanged — the estimator must not break bounded failure. Ignored for
+  // the TCP stack.
+  bool adaptive = false;
 };
 
 struct ChaosReport {
@@ -89,6 +95,17 @@ struct ChaosReport {
   std::uint64_t timeouts = 0;
   std::uint64_t gave_up = 0;
   std::uint64_t resets_accepted = 0;
+
+  // Adaptive-mode telemetry (populated — and appended to summary() — only
+  // when ChaosOptions::adaptive ran a CLIC campaign, so non-adaptive
+  // summaries stay byte-identical to the fixed-clock harness).
+  bool adaptive = false;
+  std::uint64_t rtt_samples = 0;
+  std::uint64_t window_collapses = 0;
+  sim::SimTime srtt_max = 0;
+  sim::SimTime rttvar_max = 0;
+  int window_min = 0;
+  int window_max = 0;
 
   sim::SimTime finished_at = 0;  // sim clock when the run went idle
 

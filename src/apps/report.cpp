@@ -63,7 +63,33 @@ void report_clic(std::ostream& os, clic::ClicModule& module) {
        << ", acks " << ch->acks_sent() << ", timeouts " << ch->timeouts()
        << ", backoff " << ch->backoff_level() << ", gave-up "
        << ch->gave_up() << ", resets " << ch->resets_accepted() << '\n';
+    if (module.config().adaptive) {
+      // Extra line per channel, only in adaptive mode — paper-mode output
+      // stays byte-identical to the fixed-clock reproduction.
+      os << "    adaptive: srtt " << std::fixed << std::setprecision(1)
+         << sim::to_us(ch->rtt().srtt()) << " us, rttvar "
+         << sim::to_us(ch->rtt().rttvar()) << " us, rto "
+         << sim::to_us(ch->current_rto()) << " us, samples "
+         << ch->rtt().samples() << ", cwnd " << ch->cwnd() << ", win "
+         << ch->window_min() << ".." << ch->window_max() << ", collapses "
+         << ch->window_collapses() << '\n';
+      os.unsetf(std::ios::fixed);
+    }
   }
+}
+
+void report_adaptive(std::ostream& os, clic::ClicModule& module) {
+  if (!module.config().adaptive) {
+    os << "adaptive@node" << module.node().id() << ": disabled\n";
+    return;
+  }
+  const clic::ClicModule::AdaptiveStats s = module.adaptive_stats();
+  os << "adaptive@node" << module.node().id() << ": srtt-max " << std::fixed
+     << std::setprecision(1) << sim::to_us(s.srtt_max) << " us, rttvar-max "
+     << sim::to_us(s.rttvar_max) << " us, samples " << s.rtt_samples
+     << ", win " << s.window_min << ".." << s.window_max << ", collapses "
+     << s.window_collapses << '\n';
+  os.unsetf(std::ios::fixed);
 }
 
 void report_faults(std::ostream& os, os::Cluster& cluster) {

@@ -22,4 +22,10 @@ void report_clic(std::ostream& os, clic::ClicModule& module);
 // carrier counters, switch tail/port-down drops, NIC stall drops.
 void report_faults(std::ostream& os, os::Cluster& cluster);
 
+// Adaptive-mode degradation telemetry for one module (DESIGN.md §4k):
+// final srtt/rttvar, window excursion, and timeout-driven window
+// collapses — the "why did the tail move" companion to report_faults.
+// Prints a single disabled marker when Config::adaptive is off.
+void report_adaptive(std::ostream& os, clic::ClicModule& module);
+
 }  // namespace clicsim::apps

@@ -32,6 +32,16 @@ namespace clicsim::apps {
   return c;
 }
 
+// The repaired stack (DESIGN.md §4k): same never-give-up reliability as
+// paper_clic_config, but the fixed clock is replaced by the measured-RTT
+// estimator and the full window by a slow-start/AIMD congestion window.
+// This is the "clic-a" column in bench/traffic_tail --adaptive.
+[[nodiscard]] inline clic::Config adaptive_clic_config() {
+  clic::Config c = paper_clic_config();
+  c.adaptive = true;
+  return c;
+}
+
 struct Scenario {
   os::ClusterConfig cluster;  // includes the NIC profile
   std::int64_t mtu = 9000;

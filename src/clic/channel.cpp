@@ -13,7 +13,18 @@ Channel::Channel(const Config& config, ChannelOps& ops, int peer)
       rto_rng_(config.seed ^ (static_cast<std::uint64_t>(
                                   static_cast<std::uint32_t>(peer)) *
                               0x9e3779b97f4a7c15ULL),
-               "clic-rto") {}
+               "clic-rto") {
+  if (config.adaptive) {
+    cwnd_pkts_ = static_cast<double>(std::max(1, config.cwnd_init));
+    ssthresh_ = config.window_packets;
+    window_min_ = window_max_ = cwnd();
+  }
+}
+
+int Channel::cwnd() const {
+  if (!config_->adaptive) return config_->window_packets;
+  return std::clamp(static_cast<int>(cwnd_pkts_), 1, config_->window_packets);
+}
 
 void Channel::send(Packet packet, SendCallback on_result) {
   packet.header.seq = next_seq_++;
@@ -23,12 +34,91 @@ void Channel::send(Packet packet, SendCallback on_result) {
     pending_reset_ = false;
   }
   Unacked entry{std::move(packet), std::move(on_result)};
+  if (config_->adaptive) {
+    // Every adaptive send goes through the paced release path so the
+    // congestion window and pacing gap apply uniformly.
+    pending_.push_back(std::move(entry));
+    pump_adaptive();
+    return;
+  }
   if (pending_.empty() && in_flight() < config_->window_packets) {
     transmit(entry.packet);
     unacked_.emplace(entry.packet.header.seq, std::move(entry));
     arm_rto();
   } else {
     pending_.push_back(std::move(entry));
+  }
+}
+
+void Channel::pump_adaptive() {
+  const sim::SimTime now = ops_->kernel().sim().now();
+  // Congestion-window validation (RFC 2861): a window that was opened by a
+  // previous burst says nothing about the path *now*. After an idle gap
+  // longer than the RTO, restart from cwnd_init and let slow start re-probe
+  // — under periodic incast this is what stops every wave from blasting the
+  // stale window of the previous one into the same shallow queue.
+  if (unacked_.empty() && !pending_.empty() && last_activity_ > 0 &&
+      now - last_activity_ > current_rto() &&
+      cwnd_pkts_ > static_cast<double>(config_->cwnd_init)) {
+    cwnd_pkts_ = static_cast<double>(std::max(1, config_->cwnd_init));
+  }
+  while (!pending_.empty() && in_flight() < cwnd()) {
+    if (now < pace_next_) {
+      // Too soon after the previous release: wake up exactly at the pace
+      // boundary. One timer at a time — the wake re-enters this pump.
+      if (pace_timer_ == os::Kernel::kInvalidTimer) {
+        pace_timer_ = ops_->kernel().add_timer(pace_next_ - now, [this] {
+          pace_timer_ = os::Kernel::kInvalidTimer;
+          pump_adaptive();
+        });
+      }
+      break;
+    }
+    Unacked entry = std::move(pending_.front());
+    pending_.pop_front();
+    entry.sent_at = now;
+    last_activity_ = now;
+    transmit(entry.packet);
+    const std::uint32_t seq = entry.packet.header.seq;
+    unacked_.emplace(seq, std::move(entry));
+    pace_next_ = now + config_->pacing_gap;
+  }
+  if (!unacked_.empty()) arm_rto();
+}
+
+void Channel::grow_window() {
+  const int limit = config_->window_packets;
+  if (cwnd_pkts_ >= static_cast<double>(limit)) return;
+  if (static_cast<int>(cwnd_pkts_) < ssthresh_) {
+    cwnd_pkts_ += 1.0;  // slow start: one packet per acked packet
+  } else {
+    cwnd_pkts_ += 1.0 / cwnd_pkts_;  // congestion avoidance: ~+1 per RTT
+  }
+  cwnd_pkts_ = std::min(cwnd_pkts_, static_cast<double>(limit));
+  window_max_ = std::max(window_max_, cwnd());
+}
+
+void Channel::collapse_window() {
+  ++window_collapses_;
+  ssthresh_ = std::max(cwnd() / 2, 2);
+  cwnd_pkts_ = static_cast<double>(std::max(1, config_->cwnd_init));
+  window_min_ = std::min(window_min_, cwnd());
+}
+
+void Channel::retransmit_window() {
+  // Go-back-N inside the send window: resend the cwnd oldest unacked
+  // packets back-to-back. After an incast burst drops a run of consecutive
+  // packets, resending only the head heals one sequence number per RTO —
+  // N losses cost N×RTO. Resending a window per round (and a further
+  // window on every partial ack) heals the whole run in ~one RTO.
+  int budget = cwnd();
+  for (auto& [seq, entry] : unacked_) {
+    if (budget-- <= 0) break;
+    entry.retransmitted = true;  // Karn: its ack yields no sample
+    // Retransmission must not re-trigger the caller's descriptor callback.
+    entry.packet.on_descriptor_done = {};
+    ++retransmits_;
+    transmit(entry.packet);
   }
 }
 
@@ -60,24 +150,75 @@ void Channel::drain_pending() {
 
 void Channel::process_ack(std::uint32_t ack) {
   bool advanced = false;
+  bool sampled = false;
   while (!unacked_.empty() && unacked_.begin()->first < ack) {
     auto node = unacked_.extract(unacked_.begin());
+    if (config_->adaptive) {
+      // Karn's rule: only packets transmitted exactly once yield samples —
+      // a retransmitted packet's ack is ambiguous about which copy it acks.
+      // Packets that waited in the peer's reorder buffer still sample:
+      // their ack delay includes loss-recovery wait, which overestimates —
+      // raising the RTO exactly when the path is struggling.
+      if (!node.mapped().retransmitted) {
+        rtt_.sample(ops_->kernel().sim().now() - node.mapped().sent_at);
+        sampled = true;
+      }
+      grow_window();
+    }
     if (node.mapped().on_result) node.mapped().on_result(true);
     advanced = true;
   }
   if (!advanced) return;
   tx_base_ = ack;
-  // Fresh progress: restart the retransmission clock and its backoff.
-  backoff_level_ = 0;
+  if (config_->adaptive) last_activity_ = ops_->kernel().sim().now();
+  // Fresh progress restarts the retransmission clock. The second half of
+  // Karn's algorithm governs the backoff: in adaptive mode the backed-off
+  // RTO is RETAINED until a never-retransmitted packet is acked (a valid
+  // sample). During heavy recovery every ack covers retransmitted packets,
+  // so resetting on mere progress would pin the RTO below the true
+  // (queue-inflated) RTT and every window would time out spuriously
+  // forever; retaining the backoff lets the RTO double past the real RTT,
+  // after which a clean exchange samples it and re-bases the estimator.
+  if (!config_->adaptive || sampled) backoff_level_ = 0;
   if (rto_timer_ != os::Kernel::kInvalidTimer) {
     ops_->kernel().cancel_timer(rto_timer_);
     rto_timer_ = os::Kernel::kInvalidTimer;
   }
+  if (config_->adaptive && in_recovery_) {
+    if (ack >= recover_point_) {
+      in_recovery_ = false;  // the whole loss episode is acknowledged
+    } else {
+      // NewReno-style partial ack: the cumulative ack advanced but stopped
+      // short of the recovery point, so the next packets in the run are
+      // also missing. Resend the next window now instead of idling until
+      // another RTO expires.
+      retransmit_window();
+    }
+  }
   if (!unacked_.empty()) arm_rto();
-  drain_pending();
+  if (config_->adaptive) {
+    pump_adaptive();
+  } else {
+    drain_pending();
+  }
 }
 
 sim::SimTime Channel::current_rto() const {
+  if (config_->adaptive) {
+    // The estimator replaces the fixed clock as the ladder's base; until
+    // the first sample the configured rto seeds it. Consecutive expiries
+    // double the deadline (classic RFC 6298 backoff) regardless of
+    // rto_backoff, which exists to shape the fixed-clock ladder.
+    double rto = static_cast<double>(
+        rtt_.primed() ? rtt_.rto(config_->rto_min, config_->rto_max)
+                      : config_->rto);
+    for (int i = 0; i < backoff_level_; ++i) {
+      rto *= 2.0;
+      if (rto >= static_cast<double>(config_->rto_max)) break;
+    }
+    return std::min<sim::SimTime>(static_cast<sim::SimTime>(rto),
+                                  config_->rto_max);
+  }
   double rto = static_cast<double>(config_->rto);
   if (config_->rto_backoff > 1.0) {  // 1.0 = fixed clock, level-independent
     for (int i = 0; i < backoff_level_; ++i) {
@@ -115,10 +256,23 @@ void Channel::rto_expired() {
     return;
   }
   ++backoff_level_;
+  if (config_->adaptive) {
+    // Timeout response: halve ssthresh, collapse the window, and enter
+    // loss recovery — everything up to next_seq_ is suspect, so resend a
+    // window of it and let partial acks clock out the rest.
+    collapse_window();
+    in_recovery_ = true;
+    recover_point_ = next_seq_;
+    retransmit_window();
+    arm_rto();
+    return;
+  }
   // Selective repeat of the oldest outstanding packet; the reorder buffer
   // on the far side keeps later arrivals.
   ++retransmits_;
-  Packet& oldest = unacked_.begin()->second.packet;
+  Unacked& head = unacked_.begin()->second;
+  head.retransmitted = true;  // Karn: this packet's ack yields no sample
+  Packet& oldest = head.packet;
   // Retransmission must not re-trigger the caller's descriptor callback.
   oldest.on_descriptor_done = {};
   transmit(oldest);
@@ -134,6 +288,22 @@ void Channel::give_up() {
   backoff_level_ = 0;
   pending_reset_ = true;
   tx_base_ = next_seq_;
+  if (config_->adaptive) {
+    // Channel resync point: the path (and peer state) that produced the
+    // samples may be gone. Forget the estimator, restart from cwnd_init,
+    // and drop any scheduled paced release — there is nothing left to pace.
+    rtt_.reset();
+    cwnd_pkts_ = static_cast<double>(std::max(1, config_->cwnd_init));
+    ssthresh_ = config_->window_packets;
+    in_recovery_ = false;
+    recover_point_ = 0;
+    pace_next_ = 0;
+    last_activity_ = 0;
+    if (pace_timer_ != os::Kernel::kInvalidTimer) {
+      ops_->kernel().cancel_timer(pace_timer_);
+      pace_timer_ = os::Kernel::kInvalidTimer;
+    }
+  }
   auto unacked = std::move(unacked_);
   auto pending = std::move(pending_);
   unacked_.clear();
@@ -182,7 +352,11 @@ void Channel::packet_in(const ClicHeader& header, net::HeaderBlob upper,
     p.upper = std::move(upper);
     p.payload = std::move(payload);
     reorder_.emplace(header.seq, std::move(p));
-    note_ack_owed(wants_immediate_ack);
+    // Adaptive mode acks a gap immediately: during loss recovery the
+    // sender's retransmissions are clocked by arriving acks (each partial
+    // ack releases the next window), so a promptly reported gap-fill is
+    // what keeps recovery at RTT timescale instead of ack-delay timescale.
+    note_ack_owed(wants_immediate_ack || config_->adaptive);
     return;
   }
 

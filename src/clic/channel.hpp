@@ -18,6 +18,7 @@
 
 #include "clic/config.hpp"
 #include "clic/header.hpp"
+#include "clic/rtt.hpp"
 #include "net/buffer.hpp"
 #include "os/kernel.hpp"
 #include "sim/random.hpp"
@@ -100,10 +101,21 @@ class Channel {
   // The RTO the next expiry would be armed with (before jitter).
   [[nodiscard]] sim::SimTime current_rto() const;
 
+  // Adaptive-mode telemetry (all zero/defaults unless Config::adaptive).
+  [[nodiscard]] const RttEstimator& rtt() const { return rtt_; }
+  [[nodiscard]] int cwnd() const;  // current effective in-flight limit
+  [[nodiscard]] int window_min() const { return window_min_; }
+  [[nodiscard]] int window_max() const { return window_max_; }
+  [[nodiscard]] std::uint64_t window_collapses() const {
+    return window_collapses_;
+  }
+
  private:
   struct Unacked {
     Packet packet;
     SendCallback on_result;
+    sim::SimTime sent_at = 0;     // adaptive: RTT-sample timestamp
+    bool retransmitted = false;   // adaptive: Karn's rule — never sample
   };
 
   void transmit(Packet& packet);
@@ -114,6 +126,12 @@ class Channel {
   void give_up();
   void note_ack_owed(bool immediate);
   void send_pure_ack();
+
+  // Adaptive mode (all no-ops when Config::adaptive is off).
+  void pump_adaptive();   // paced, window-limited release of pending_
+  void grow_window();     // slow start below ssthresh, +1/cwnd above
+  void collapse_window();  // timeout response: ssthresh = inflight/2
+  void retransmit_window();  // loss recovery: resend cwnd oldest unacked
 
   const Config* config_;
   ChannelOps* ops_;
@@ -130,6 +148,29 @@ class Channel {
   int backoff_level_ = 0;       // consecutive expiries with no progress
   bool pending_reset_ = false;  // next data packet carries flags::kReset
   sim::Rng rto_rng_;            // deterministic jitter stream
+
+  // Adaptive-mode TX state (DESIGN.md §4k). cwnd_pkts_ is fractional so
+  // congestion avoidance can add 1/cwnd per ack; the effective window is
+  // its integer part clamped to [1, window_packets].
+  RttEstimator rtt_;
+  double cwnd_pkts_ = 0.0;
+  int ssthresh_ = 0;
+  // Loss recovery (NewReno-style): an RTO enters recovery and resends a
+  // window of the oldest unacked packets; each partial ack (progress short
+  // of recover_point_) immediately resends the next window instead of
+  // waiting out another full RTO — a burst of consecutive losses heals in
+  // ~one RTO plus a few RTTs rather than one RTO *per packet*. No RTT
+  // samples are taken during recovery: cumulative acks that fill a gap
+  // report ack-delay, not path RTT, and would poison the estimator.
+  bool in_recovery_ = false;
+  std::uint32_t recover_point_ = 0;
+  sim::SimTime last_activity_ = 0;  // last transmit or ack progress
+                                    // (feeds RFC 2861 idle restart)
+  sim::SimTime pace_next_ = 0;  // earliest next paced transmission
+  os::Kernel::TimerId pace_timer_ = os::Kernel::kInvalidTimer;
+  int window_min_ = 0;
+  int window_max_ = 0;
+  std::uint64_t window_collapses_ = 0;
 
   // RX state.
   std::uint32_t rx_next_ = 0;

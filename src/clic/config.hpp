@@ -51,6 +51,29 @@ struct Config {
   int max_retries = 12;
   std::uint64_t seed = 1;           // RTO-jitter stream seed
 
+  // Adaptive reliability mode (DESIGN.md §4k). Off by default: the paper
+  // fixes its retransmission clock, and every figure reproduction pins the
+  // fixed-clock schedule byte-for-byte. When on:
+  //  - an RFC 6298 SRTT/RTTVAR estimator replaces `rto` as the base of the
+  //    backoff ladder (the ladder then doubles per consecutive expiry
+  //    regardless of `rto_backoff`). Karn's rule in both halves:
+  //    retransmitted packets never sample, and a backed-off RTO is retained
+  //    until a never-retransmitted packet is acked;
+  //  - a slow-start/AIMD congestion window bounds in-flight packets below
+  //    `window_packets`: a timeout collapses it to `cwnd_init` (ssthresh =
+  //    half) and enters go-back-N loss recovery — the cwnd oldest unacked
+  //    packets are resent at once, and each partial ack resends the next
+  //    window, so a burst of consecutive losses heals in ~one RTO;
+  //  - a window idle for more than one RTO restarts from `cwnd_init`
+  //    (RFC 2861): yesterday's window says nothing about today's queue;
+  //  - transmissions are paced `pacing_gap` apart, and receivers ack
+  //    out-of-order arrivals immediately so recovery is clocked by fresh
+  //    information rather than the delayed-ack timer.
+  bool adaptive = false;
+  sim::SimTime rto_min = sim::microseconds(200.0);  // estimator RTO floor
+  int cwnd_init = 2;                // post-collapse / initial window
+  sim::SimTime pacing_gap = sim::microseconds(8.0);  // per-packet spacing
+
   // Kernel processing costs (Figure 7 measurements).
   sim::SimTime module_tx_cost = sim::microseconds(0.7);
   sim::SimTime module_rx_cost = sim::microseconds(2.0);

@@ -76,6 +76,26 @@ Channel* ClicModule::channel_to(int peer) {
   return it == channels_.end() ? nullptr : it->second.get();
 }
 
+ClicModule::AdaptiveStats ClicModule::adaptive_stats() const {
+  AdaptiveStats stats;
+  bool first = true;
+  for (const auto& [peer, ch] : channels_) {
+    stats.rtt_samples += ch->rtt().samples();
+    stats.window_collapses += ch->window_collapses();
+    stats.srtt_max = std::max(stats.srtt_max, ch->rtt().srtt());
+    stats.rttvar_max = std::max(stats.rttvar_max, ch->rtt().rttvar());
+    if (first) {
+      stats.window_min = ch->window_min();
+      stats.window_max = ch->window_max();
+      first = false;
+    } else {
+      stats.window_min = std::min(stats.window_min, ch->window_min());
+      stats.window_max = std::max(stats.window_max, ch->window_max());
+    }
+  }
+  return stats;
+}
+
 std::int64_t ClicModule::chunk_bytes() const {
   if (config_.use_nic_fragmentation &&
       node_->nic(0).profile().on_nic_fragmentation) {

@@ -138,6 +138,19 @@ class ClicModule : public os::ProtocolHandler, private ChannelOps {
     return intra_node_;
   }
 
+  // Aggregate adaptive telemetry across every instantiated channel (all
+  // zeros when Config::adaptive is off). Sums and min/max are
+  // order-invariant, so the unordered channel map cannot perturb them.
+  struct AdaptiveStats {
+    std::uint64_t rtt_samples = 0;
+    std::uint64_t window_collapses = 0;
+    sim::SimTime srtt_max = 0;    // largest final smoothed RTT
+    sim::SimTime rttvar_max = 0;  // largest final RTT variance
+    int window_min = 0;           // smallest window any channel fell to
+    int window_max = 0;           // largest window any channel opened
+  };
+  [[nodiscard]] AdaptiveStats adaptive_stats() const;
+
  private:
   struct PortState {
     std::deque<Message> ready;                  // in system memory

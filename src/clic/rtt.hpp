@@ -1,0 +1,73 @@
+// RFC 6298-style round-trip-time estimator for the adaptive CLIC channel
+// (DESIGN.md §4k).
+//
+// The paper's CLIC retransmits on a fixed clock sized for a 2003-era
+// single-sender Gigabit link; under synchronized fan-in the queueing delay
+// exceeds that clock and every wave retransmission-storms. The estimator
+// replaces the fixed clock with the classic SRTT/RTTVAR filter:
+//
+//   first sample R:  SRTT = R, RTTVAR = R / 2
+//   later samples:   RTTVAR = (3·RTTVAR + |SRTT − R|) / 4
+//                    SRTT   = (7·SRTT + R) / 8
+//   RTO = clamp(SRTT + 4·RTTVAR, rto_min, rto_max)
+//
+// All arithmetic is 64-bit integer nanoseconds, so every run — at any
+// sweep -j and any --shards — produces bit-identical estimator state.
+// Karn's rule (no samples from retransmitted packets) is enforced by the
+// caller: the channel only feeds samples for packets transmitted exactly
+// once.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+
+#include "sim/time.hpp"
+
+namespace clicsim::clic {
+
+class RttEstimator {
+ public:
+  // Feeds one measured round-trip time (send -> cumulative ack).
+  void sample(sim::SimTime rtt) {
+    rtt = std::max<sim::SimTime>(rtt, 1);
+    if (samples_ == 0) {
+      srtt_ = rtt;
+      rttvar_ = rtt / 2;
+    } else {
+      rttvar_ = (3 * rttvar_ + std::abs(srtt_ - rtt)) / 4;
+      srtt_ = (7 * srtt_ + rtt) / 8;
+    }
+    ++samples_;
+  }
+
+  // Forgets everything — used when the channel resynchronizes (give-up /
+  // reset): the path that produced the old samples may be gone.
+  void reset() {
+    srtt_ = 0;
+    rttvar_ = 0;
+    samples_ = 0;
+  }
+
+  // True once at least one sample has been absorbed; before that the
+  // channel falls back to its configured initial RTO.
+  [[nodiscard]] bool primed() const { return samples_ > 0; }
+
+  [[nodiscard]] sim::SimTime srtt() const { return srtt_; }
+  [[nodiscard]] sim::SimTime rttvar() const { return rttvar_; }
+  [[nodiscard]] std::uint64_t samples() const { return samples_; }
+
+  // The base retransmission timeout (before the exponential backoff
+  // ladder), clamped into [rto_min, rto_max].
+  [[nodiscard]] sim::SimTime rto(sim::SimTime rto_min,
+                                 sim::SimTime rto_max) const {
+    return std::clamp(srtt_ + 4 * rttvar_, rto_min, rto_max);
+  }
+
+ private:
+  sim::SimTime srtt_ = 0;
+  sim::SimTime rttvar_ = 0;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace clicsim::clic

@@ -125,6 +125,37 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ClicChaos,
                            return "seed" + std::to_string(info.param);
                          });
 
+// --- Full campaigns: adaptive CLIC ------------------------------------------
+
+class ClicChaosAdaptive : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClicChaosAdaptive, CampaignSatisfiesBoundedFailureLiveness) {
+  apps::ChaosOptions o;
+  o.stack = apps::ChaosStack::kClic;
+  o.adaptive = true;
+  o.seed = GetParam();
+  const apps::ChaosReport r = apps::run_chaos_campaign(o);
+  EXPECT_TRUE(r.liveness_ok()) << "campaign seed " << r.seed << ": "
+                               << r.summary();
+  EXPECT_EQ(r.resolved, r.messages)
+      << "hung send, campaign seed " << r.seed;
+  EXPECT_GT(r.fault_events, 0u) << "campaign seed " << r.seed;
+  // The adaptive machinery must actually have engaged under the storm.
+  EXPECT_TRUE(r.adaptive) << "campaign seed " << r.seed;
+  EXPECT_GT(r.rtt_samples, 0u) << "campaign seed " << r.seed;
+  // Sharding the same campaign must not change one observable number.
+  apps::ChaosOptions sharded = o;
+  sharded.shards = 2;
+  EXPECT_EQ(apps::run_chaos_campaign(sharded).summary(), r.summary())
+      << "campaign seed " << r.seed << " diverged at --shards 2";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClicChaosAdaptive,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
 // --- Full campaigns: TCP ----------------------------------------------------
 
 class TcpChaos : public ::testing::TestWithParam<std::uint64_t> {};
@@ -159,6 +190,20 @@ TEST(ChaosDeterminism, SameSeedSameReport) {
   EXPECT_EQ(a, b);
 }
 
+TEST(ChaosDeterminism, AdaptiveSameSeedSameReport) {
+  apps::ChaosOptions o;
+  o.seed = 99;
+  o.adaptive = true;
+  const std::string a = apps::run_chaos_campaign(o).summary();
+  const std::string b = apps::run_chaos_campaign(o).summary();
+  EXPECT_EQ(a, b);
+  // The adaptive schedule is a genuinely different (and still
+  // deterministic) execution, not a relabeled fixed-clock run.
+  apps::ChaosOptions fixed;
+  fixed.seed = 99;
+  EXPECT_NE(a, apps::run_chaos_campaign(fixed).summary());
+}
+
 TEST(ChaosDeterminism, ParallelMatchesSerial) {
   constexpr std::uint64_t kSeeds[] = {11, 12, 13, 14};
   constexpr std::size_t kN = std::size(kSeeds);
@@ -167,6 +212,7 @@ TEST(ChaosDeterminism, ParallelMatchesSerial) {
     apps::ChaosOptions o;
     o.seed = kSeeds[i];
     o.messages = 12;
+    o.adaptive = (i % 2 == 1);  // mixed fleet: fixed and adaptive stacks
     return apps::run_chaos_campaign(o).summary();
   };
 
